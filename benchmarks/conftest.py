@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Every table/figure of the paper has one benchmark module here.  The
+benchmarks run the real experiment pipeline (aging + measurement) and
+report its wall-clock cost through pytest-benchmark; the experiment's
+*scientific* output (the regenerated table/figure) is printed so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+numbers alongside the timings.
+
+The scale preset is chosen with ``REPRO_BENCH_PRESET`` (default
+``small``; set ``paper`` for the full 502 MB / 300-day configuration).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    """The preset every benchmark in this session runs at."""
+    name = os.environ.get("REPRO_BENCH_PRESET", "small")
+    from repro.experiments.config import PRESETS
+
+    if name not in PRESETS:
+        raise ValueError(
+            f"REPRO_BENCH_PRESET={name!r} unknown; choose from {sorted(PRESETS)}"
+        )
+    return name
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""Benchmarks: ablations of the design choices DESIGN.md calls out.
+
+These do not correspond to a table or figure in the paper; they quantify
+the design decisions the paper describes qualitatively (the cluster-size
+bound, the relocation target choice, the realloc trigger quirk, and the
+footnote-1 indirect-block group switch).
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_maxcontig(benchmark, preset):
+    result = run_once(
+        benchmark, ablations.run_maxcontig_sweep, preset, (2, 4, 7, 12)
+    )
+    print("\n" + result.render())
+    # A larger cluster bound never dramatically hurts layout; the stock
+    # 7-block bound sits within reach of the best value measured.
+    best = max(result.scores.values())
+    assert result.scores[7] > best - 0.05
+    # Tiny clusters leave clearly more fragmentation than the stock bound.
+    assert result.scores[2] <= result.scores[7] + 0.01
+
+
+def test_ablation_cluster_fit(benchmark, preset):
+    result = run_once(benchmark, ablations.run_cluster_fit_ablation, preset)
+    print("\n" + result.render())
+    # Both strategies must produce respectable layout...
+    assert min(result.final_scores.values()) > 0.5
+    # ...and the kernel's first fit preserves at least as much
+    # clusterable free space as best fit on this workload.
+    assert (
+        result.clusterable["firstfit"] >= result.clusterable["bestfit"] - 0.1
+    )
+
+
+def test_ablation_trigger(benchmark, preset):
+    result = run_once(benchmark, ablations.run_trigger_ablation, preset)
+    print("\n" + result.render())
+    stock = result.two_chunk["realloc"]
+    eager = result.two_chunk["realloc-eager"]
+    if stock is not None and eager is not None:
+        # Removing the quirk gate can only help two-chunk files.
+        assert eager >= stock - 0.05
+
+
+def test_ablation_indirect(benchmark, preset):
+    result = run_once(benchmark, ablations.run_indirect_ablation, preset)
+    print("\n" + result.render())
+    # The stock configuration has a real 104 KB dip; keeping files in
+    # their group removes (most of) it.
+    assert result.dip_ratio["switch (stock)"] < 1.0
+    assert (
+        result.dip_ratio["stay home"]
+        >= result.dip_ratio["switch (stock)"] - 0.05
+    )
+
+
+def test_ablation_fallback(benchmark, preset):
+    result = run_once(benchmark, ablations.run_fallback_ablation, preset)
+    print("\n" + result.render())
+    scores = result.final_scores
+    # The run-aware fallback recovers part of realloc's benefit without
+    # moving any block after allocation.
+    assert scores["ffs-smart"] >= scores["ffs"] - 0.02
+    assert scores["realloc"] >= scores["ffs"]

@@ -1,0 +1,28 @@
+"""Benchmarks: extension experiments beyond the paper's evaluation.
+
+* empty-vs-aged — the [Seltzer95] motivation from the paper's intro:
+  how much performance aging costs, per policy;
+* rotdelay — why Table 1 sets the rotational gap to zero on a
+  track-buffer disk (and why it existed at all).
+"""
+
+from conftest import run_once
+
+from repro.experiments import empty_vs_aged, rotdelay
+
+
+def test_empty_vs_aged(benchmark, preset):
+    result = run_once(benchmark, empty_vs_aged.run, preset)
+    print("\n" + result.render())
+    assert result.mean_degradation("ffs") > 0.0
+    assert (
+        result.mean_degradation("realloc")
+        <= result.mean_degradation("ffs") + 0.03
+    )
+
+
+def test_rotdelay(benchmark, preset):
+    result = run_once(benchmark, rotdelay.run, preset)
+    print("\n" + result.render())
+    assert result.winner("1996") == 0
+    assert result.winner("1985") > 0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 1 (real vs. simulated aging curves).
+
+Paper targets: both file systems fragment over the period; the simulated
+(reconstructed-workload) system ends *less* fragmented than the real
+(ground-truth) one — 0.77 vs 0.68 in the paper — because the snapshots
+miss part of the activity.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark, preset):
+    result = run_once(benchmark, fig1.run, preset)
+    print("\n" + result.render())
+    assert result.simulated.final_score() >= result.real.final_score() - 0.02
+    assert result.real.final_score() < result.real.first_day_score()
+    assert result.simulated.final_score() < result.simulated.first_day_score()

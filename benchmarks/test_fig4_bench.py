@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Figure 4 (sequential I/O throughput sweep).
+
+Paper targets: realloc at or above FFS for nearly all sizes (reads up to
++58%, writes up to +44% at their best points); a sharp dip at 104 KB in
+every curve; raw read above all file-system reads; raw write *not*
+strictly above realloc large-file writes (lost rotations vs. short
+seeks).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+from repro.units import KB
+
+
+def test_fig4(benchmark, preset):
+    result = run_once(benchmark, fig4.run, preset)
+    print("\n" + result.render())
+
+    # Raw read bounds every file-system read.
+    assert result.raw_read > max(result.read_series("ffs"))
+    assert result.raw_read > max(result.read_series("realloc"))
+
+    # The 104 KB indirect dip, both policies, both directions.
+    if 96 * KB in result.sizes and 104 * KB in result.sizes:
+        for policy in ("ffs", "realloc"):
+            assert (
+                result.results[policy][104 * KB].read_throughput.mean
+                < result.results[policy][96 * KB].read_throughput.mean
+            )
+
+    # Realloc wins reads in the mid-size band the paper highlights.
+    mid = [s for s in result.sizes if 32 * KB <= s <= 1024 * KB]
+    realloc_wins = sum(
+        1
+        for s in mid
+        if result.results["realloc"][s].read_throughput.mean
+        >= result.results["ffs"][s].read_throughput.mean * 0.98
+    )
+    assert realloc_wins >= 0.6 * len(mid)
+
+    # Run-to-run variation stays small, as the paper reports (<1.5%).
+    for policy in ("ffs", "realloc"):
+        for s in result.sizes:
+            assert result.results[policy][s].read_throughput.relative_stddev < 0.10

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 5 (layout of sequential-benchmark files).
+
+Paper targets: realloc produces better layout at all sizes and perfect
+layout for files up to the 56 KB cluster size.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+from repro.units import KB
+
+
+def test_fig5(benchmark, preset):
+    result = run_once(benchmark, fig5.run, preset)
+    print("\n" + result.render())
+
+    # Perfect (or near) layout at and below the cluster size.
+    for size in result.sizes:
+        if size > 56 * KB:
+            continue
+        score = result.realloc[size]
+        if score is not None:
+            assert score > 0.9, f"realloc layout at {size} only {score:.3f}"
+
+    # Realloc at or above FFS for the clear majority of sizes.
+    comparable = [
+        (result.ffs[s], result.realloc[s])
+        for s in result.sizes
+        if result.ffs[s] is not None and result.realloc[s] is not None
+    ]
+    wins = sum(1 for f, r in comparable if r >= f - 0.05)
+    assert wins >= 0.7 * len(comparable)

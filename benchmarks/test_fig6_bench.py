@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 6 (layout of hot files vs. file size).
+
+Paper targets: under the original FFS the hot (realistically created)
+files lay out worse than the sequential-benchmark files; under realloc
+the hot files nearly match the benchmark files — reallocation reaches
+near-optimal layout regardless of how files were created.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def _mean(values):
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values) if values else None
+
+
+def test_fig6(benchmark, preset):
+    result = run_once(benchmark, fig6.run, preset)
+    print("\n" + result.render())
+
+    hot_ffs = _mean(result.hot_ffs.values())
+    hot_realloc = _mean(result.hot_realloc.values())
+    assert hot_ffs is not None and hot_realloc is not None
+    # Realloc hot files beat FFS hot files across the size spectrum.
+    assert hot_realloc > hot_ffs
+
+    # Realloc hot files track the realloc sequential files more closely
+    # than FFS hot files track FFS sequential files (the paper's point).
+    seq_ffs = _mean(result.seq.ffs.values())
+    seq_realloc = _mean(result.seq.realloc.values())
+    gap_realloc = abs(seq_realloc - hot_realloc)
+    gap_ffs = abs(seq_ffs - hot_ffs)
+    assert gap_realloc <= gap_ffs + 0.1

@@ -1,0 +1,23 @@
+"""Benchmark: the three-way FFS / FFS+realloc / LFS aging comparison.
+
+The paper's Section 6 names log-structured file systems as the next
+aging target; this regenerates the logging-vs-clustering trade under
+the identical workload: LFS holds the best layout for once-written
+files but pays cleaner bandwidth (write amplification > 1); realloc
+approaches LFS's layout with no background copying.
+"""
+
+from conftest import run_once
+
+from repro.experiments import lfs_compare
+
+
+def test_lfs_compare(benchmark, preset):
+    result = run_once(benchmark, lfs_compare.run, preset)
+    print("\n" + result.render())
+    scores = result.final_scores()
+    # LFS layout at or above plain FFS; realloc in the same band.
+    assert scores["LFS"] >= scores["FFS"] - 0.05
+    assert scores["FFS + Realloc"] >= scores["FFS"]
+    # The cleaning tax is real.
+    assert result.write_amplification > 1.0

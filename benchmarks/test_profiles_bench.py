@@ -1,0 +1,20 @@
+"""Benchmark: the workload-profile study (Section 6 future work).
+
+Ages a file system per usage-pattern profile (home, news, database, pc)
+under both policies and prints the comparison table.  Directional
+assertions: realloc never clearly loses, and the news workload is the
+hardest case for the original allocator.
+"""
+
+from conftest import run_once
+
+from repro.experiments import profiles
+
+
+def test_profiles(benchmark, preset):
+    result = run_once(benchmark, profiles.run, preset)
+    print("\n" + result.render())
+    for name, outcome in result.outcomes.items():
+        assert outcome.realloc_final >= outcome.ffs_final - 0.03, name
+    ffs_scores = {n: o.ffs_final for n, o in result.outcomes.items()}
+    assert ffs_scores["news"] == min(ffs_scores.values())

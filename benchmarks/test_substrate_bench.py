@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the substrate itself.
+
+Not paper artifacts — these track the simulator's own performance so
+regressions in the hot paths (block allocation, replay, layout scoring)
+are visible.  They use pytest-benchmark's normal repetition machinery
+since each operation is cheap.
+"""
+
+import pytest
+
+from repro.aging.workload import CREATE, DELETE, Workload, WorkloadRecord
+from repro.analysis.layout import aggregate_layout_score
+from repro.disk.model import DiskModel, IOKind
+from repro.disk.request import Extent
+from repro.ffs.filesystem import FileSystem
+from repro.ffs.params import scaled_params
+from repro.units import KB, MB
+
+PARAMS = scaled_params(24 * MB)
+
+
+def test_block_allocation_throughput(benchmark):
+    def allocate_and_free():
+        fs = FileSystem(PARAMS)
+        d = fs.make_directory("d")
+        inos = [fs.create_file(d, 56 * KB) for _ in range(50)]
+        for ino in inos:
+            fs.delete_file(ino)
+
+    benchmark(allocate_and_free)
+
+
+def test_realloc_allocation_throughput(benchmark):
+    def allocate_and_free():
+        fs = FileSystem(PARAMS, policy="realloc")
+        d = fs.make_directory("d")
+        inos = [fs.create_file(d, 56 * KB) for _ in range(50)]
+        for ino in inos:
+            fs.delete_file(ino)
+
+    benchmark(allocate_and_free)
+
+
+def test_replay_throughput(benchmark):
+    records = []
+    fid = 0
+    for day in range(3):
+        for i in range(60):
+            records.append(
+                WorkloadRecord(
+                    time=day + i / 100.0, op=CREATE, file_id=fid,
+                    size=24 * KB, src_ino=(fid * 7) % PARAMS.ninodes,
+                    directory="d",
+                )
+            )
+            if fid >= 20:
+                records.append(
+                    WorkloadRecord(
+                        time=day + (i + 50) / 200.0, op=DELETE,
+                        file_id=fid - 20, size=0,
+                        src_ino=((fid - 20) * 7) % PARAMS.ninodes,
+                        directory="d",
+                    )
+                )
+            fid += 1
+    workload = Workload(records)
+    workload.validate()
+
+    from repro.aging.replay import age_file_system
+
+    benchmark(lambda: age_file_system(workload, params=PARAMS))
+
+
+def test_layout_scoring_throughput(benchmark):
+    fs = FileSystem(PARAMS)
+    d = fs.make_directory("d")
+    for i in range(200):
+        fs.create_file(d, (i % 12 + 1) * 8 * KB)
+    benchmark(aggregate_layout_score, fs)
+
+
+def test_disk_model_throughput(benchmark):
+    extents = [Extent(i * 9, 7, 7 * 8 * KB) for i in range(50)]
+
+    def sweep():
+        model = DiskModel()
+        model.transfer_extents(IOKind.READ, extents, 8 * KB)
+        model.transfer_extents(IOKind.WRITE, extents, 8 * KB)
+
+    benchmark(sweep)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (benchmark configuration)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, preset):
+    result = run_once(benchmark, table1.run, preset)
+    rendered = result.render()
+    print("\n" + rendered)
+    assert "Block Size" in rendered
+    assert "Max. Cluster Size" in rendered

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Free-space forensics: why allocators fail on aged file systems.
+
+The paper's motivating observation ([Smith94]) is that aged UNIX file
+systems still contain many large clusters of free space — file
+fragmentation is an allocator failure, not a space shortage.  This
+example ages one file system per policy and dissects the result:
+
+* the free-run length histogram and how much free space is
+  "clusterable" (in runs of at least ``maxcontig`` blocks);
+* the per-cylinder-group picture (utilization and largest free run);
+* a what-if: re-aging with different cluster-size bounds (``maxcontig``)
+  to see the trade-off the paper's file-system parameter controls.
+
+Run:  python examples/fragmentation_explorer.py
+"""
+
+import dataclasses
+
+from repro.aging.generator import AgingConfig, build_workloads
+from repro.aging.replay import age_file_system
+from repro.analysis.freespace import (
+    free_cluster_histogram,
+    free_space_stats,
+    largest_run_per_cg,
+)
+from repro.analysis.report import render_table
+from repro.ffs.params import scaled_params
+from repro.units import KB, MB
+
+
+def main():
+    params = scaled_params(48 * MB)
+    config = AgingConfig(params=params, days=50, seed=7)
+    workloads = build_workloads(config)
+
+    print("=== free-space structure after aging ===\n")
+    aged = {}
+    for policy in ("ffs", "realloc"):
+        aged[policy] = age_file_system(
+            workloads.reconstructed, params=params, policy=policy
+        )
+        fs = aged[policy].fs
+        stats = free_space_stats(fs)
+        print(f"[{policy}] layout {aged[policy].timeline.final_score():.3f}, "
+              f"utilization {fs.utilization():.0%}")
+        print(f"  free runs: {stats.n_runs} "
+              f"(mean {stats.mean_run:.1f} blocks, "
+              f"largest {stats.largest_run} = "
+              f"{stats.largest_run * params.block_size // KB} KB)")
+        print(f"  clusterable free space: {stats.clusterable_fraction:.0%} "
+              f"in runs >= maxcontig ({params.maxcontig} blocks)")
+        histogram = free_cluster_histogram(fs)
+        small = sum(n for length, n in histogram.items() if length < 3)
+        print(f"  crumbs: {small} runs shorter than 3 blocks")
+        per_cg = largest_run_per_cg(fs)
+        print(f"  largest run per group: {per_cg}\n")
+
+    print("=== what-if: the cluster-size bound (maxcontig) ===\n")
+    rows = []
+    for maxcontig in (2, 4, 7, 12):
+        what_if = dataclasses.replace(params, maxcontig=maxcontig)
+        result = age_file_system(
+            workloads.reconstructed, params=what_if, policy="realloc"
+        )
+        rows.append(
+            (
+                f"{maxcontig} blocks ({maxcontig * params.block_size // KB} KB)",
+                f"{result.timeline.final_score():.3f}",
+                f"{free_space_stats(result.fs).clusterable_fraction:.0%}",
+            )
+        )
+    print(render_table(
+        ["max cluster", "final layout score", "clusterable free space"],
+        rows,
+    ))
+    print("\nThe stock 56 KB bound matches the disk's maximum transfer "
+          "size; larger bounds help layout slightly but chase ever-rarer "
+          "free runs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Logging vs. clustering: the debate behind the paper, at laptop scale.
+
+The realloc algorithm was BSD's answer to log-structured file systems:
+keep FFS's update-in-place behaviour, but gather writes into clusters
+the way LFS's log does.  This example ages three file systems — original
+FFS, FFS with realloc, and a Rosenblum-style LFS — with the identical
+workload and shows the trade:
+
+* LFS keeps near-perfect layout for everything it writes (the log is
+  sequential by construction) but pays a *cleaner tax*: every block the
+  cleaner copies is a write the user never asked for;
+* realloc recovers most of that layout without any background copying;
+* plain FFS fragments steadily.
+
+Run:  python examples/logging_vs_clustering.py
+"""
+
+from repro.aging.generator import AgingConfig, build_workloads
+from repro.aging.replay import age_file_system
+from repro.analysis.report import render_chart, render_table
+from repro.ffs.params import scaled_params
+from repro.lfs import LFSParams, age_lfs
+from repro.units import KB, MB
+
+
+def main():
+    params = scaled_params(64 * MB)
+    config = AgingConfig(params=params, days=70, seed=1996)
+    print("building the aging workload...")
+    workloads = build_workloads(config)
+
+    print("aging three file systems with the identical operations...\n")
+    ffs = age_file_system(workloads.reconstructed, params=params, policy="ffs")
+    realloc = age_file_system(
+        workloads.reconstructed, params=params, policy="realloc"
+    )
+    lfs = age_lfs(
+        workloads.reconstructed,
+        params=LFSParams(
+            size_bytes=params.actual_size_bytes, segment_bytes=512 * KB
+        ),
+    )
+
+    print(render_chart(
+        [
+            ("LFS", lfs.timeline.days(), lfs.timeline.scores()),
+            ("FFS + Realloc", realloc.timeline.days(), realloc.timeline.scores()),
+            ("FFS", ffs.timeline.days(), ffs.timeline.scores()),
+        ],
+        title="Aggregate layout score while aging",
+        xlabel="Time (days)",
+        y_range=(0.5, 1.0),
+    ))
+
+    rows = [
+        ("FFS", f"{ffs.timeline.final_score():.3f}", "none"),
+        ("FFS + Realloc", f"{realloc.timeline.final_score():.3f}",
+         "cluster relocation at write time"),
+        ("LFS", f"{lfs.timeline.final_score():.3f}",
+         f"cleaner copied {lfs.fs.cleaner_blocks_copied} blocks "
+         f"({lfs.fs.write_amplification():.2f}x write amplification)"),
+    ]
+    print()
+    print(render_table(["system", "final layout score", "cost"], rows))
+    print(
+        "\nThe paper's realloc algorithm buys most of the log-structured "
+        "layout without the cleaner: that is its whole argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim so `pip install -e .` works with legacy (pre-wheel) tooling.
+
+All project metadata lives in pyproject.toml; this file only enables the
+setuptools legacy editable-install path on environments without the
+`wheel` package.
+"""
+from setuptools import setup
+
+setup()

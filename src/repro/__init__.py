@@ -1,0 +1,31 @@
+"""Reproduction of Smith & Seltzer, *A Comparison of FFS Disk Allocation
+Policies* (USENIX 1996).
+
+The package rebuilds, in pure Python, everything the paper's evaluation
+needs: a block/fragment-level FFS simulator with both allocation policies
+under study, a file-system aging pipeline (synthetic source activity,
+nightly snapshots, workload reconstruction, short-lived NFS churn,
+replay), an analytical disk timing model, and the benchmark/experiment
+harness that regenerates every table and figure.
+
+Quick start::
+
+    from repro import FileSystem, FSParams
+    from repro.aging import AgingConfig, build_workloads
+    from repro.aging.replay import age_file_system
+
+    config = AgingConfig(days=60)
+    workloads = build_workloads(config)
+    result = age_file_system(workloads.reconstructed, policy="realloc")
+    print(result.timeline.final_score())
+
+See README.md for the architecture overview and DESIGN.md for the
+per-experiment index.
+"""
+
+from repro.ffs import FileSystem, FSParams
+from repro.disk import DiskGeometry, DiskModel
+
+__version__ = "1.0.0"
+
+__all__ = ["FileSystem", "FSParams", "DiskGeometry", "DiskModel", "__version__"]

@@ -1,0 +1,39 @@
+"""File-system aging: workload synthesis, reconstruction, and replay.
+
+Section 3 of the paper builds a ten-month aging workload from two data
+sources that are not publicly available — nightly snapshots of a Harvard
+home-directory file system and NFS traces from Network Appliance servers.
+This package substitutes a *synthetic ground truth*: a statistical model
+of the source file system's activity (:mod:`repro.aging.snapshot`)
+generates every file operation over the simulation period, along with the
+nightly snapshots an observer would have taken.
+
+The paper's actual methodology is then reproduced faithfully on top:
+
+* :mod:`repro.aging.diff` reconstructs a workload from the snapshots
+  alone, applying the paper's heuristics (creation time = inode change
+  time, modification = delete + rewrite, randomized deletion times);
+* :mod:`repro.aging.nfstrace` supplies synthetic short-lived-file trace
+  days that are folded into the reconstruction the way the paper folded
+  in the NFS traces (busiest directories, time-shifted to peak activity);
+* :mod:`repro.aging.replay` replays any workload against a simulated
+  file system, steering every file into the cylinder group it occupied
+  on the source file system via one seed directory per group.
+
+Replaying the ground truth gives the "Real" curve of Figure 1; replaying
+the reconstruction gives the "Simulated" curve, and is the workload used
+for every other experiment.
+"""
+
+from repro.aging.workload import Workload, WorkloadRecord
+from repro.aging.generator import AgingConfig, build_workloads
+from repro.aging.replay import AgingReplayer, ReplayResult
+
+__all__ = [
+    "Workload",
+    "WorkloadRecord",
+    "AgingConfig",
+    "build_workloads",
+    "AgingReplayer",
+    "ReplayResult",
+]

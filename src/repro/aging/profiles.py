@@ -1,0 +1,111 @@
+"""Aging-workload profiles for different usage patterns (Section 6).
+
+The paper's future work proposes "a variety of different aging workloads
+representative of different file system usage patterns, such as news,
+database, and personal computing workloads".  Each profile below is an
+:class:`~repro.aging.snapshot.ActivityLevels` tuned to the
+characteristic behaviour of one workload class:
+
+``home``
+    The paper's source system: four researchers' home directories.
+    Moderate churn, log-normal sizes, heavy same-day compiler/editor
+    churn.  This is the default everywhere else in the package.
+
+``news``
+    A Usenet spool: enormous volumes of small files with short lifetimes
+    (articles expire), near-constant high utilization, very high
+    create/delete rates, almost no in-place modification.  The classic
+    FFS worst case.
+
+``database``
+    A small number of large files that grow and get rewritten in place;
+    almost no short-lived churn; writes arrive in many chunks over long
+    periods (heavy interleaving).
+
+``pc``
+    Personal computing: bursty daily activity, lower utilization, a mix
+    of documents and applications, frequent whole-directory installs and
+    removals (high cleanup probability).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.aging.snapshot import ActivityLevels
+from repro.units import KB
+
+PROFILES: Dict[str, ActivityLevels] = {
+    "home": ActivityLevels(),
+    "news": ActivityLevels(
+        delete_rate=0.06,            # articles expire constantly
+        modify_rate=0.0005,          # spool files are write-once
+        short_pairs_per_mb=5.0,      # huge same-day churn
+        delete_run_mean=8.0,         # expiry removes whole batches
+        cleanup_probability=0.10,    # expire runs
+        cleanup_fraction=0.3,
+        longlived_median=2 * KB,     # articles are small
+        longlived_sigma=1.2,
+        shortlived_median=2 * KB,
+        shortlived_sigma=1.0,
+        chunk_threshold=64 * KB,
+        max_file_size=512 * KB,
+        plateau_utilization=0.80,    # spools run nearly full
+        peak_amplitude=0.06,
+    ),
+    "database": ActivityLevels(
+        delete_rate=0.0005,          # tables rarely dropped
+        modify_rate=0.02,            # constant rewriting
+        short_pairs_per_mb=0.2,      # few temp files
+        delete_run_mean=1.0,
+        cleanup_probability=0.01,
+        cleanup_fraction=0.5,
+        longlived_median=256 * KB,   # tables and indexes are big
+        longlived_sigma=1.4,
+        shortlived_median=16 * KB,
+        shortlived_sigma=1.0,
+        chunk_threshold=64 * KB,     # growth arrives in many chunks
+        write_chunk_bytes=64 * KB,
+        write_duration_frac=0.3,     # spread across the day: heavy
+        max_file_size=16 * 1024 * KB,  # interleaving between tables
+        plateau_utilization=0.75,
+        peak_amplitude=0.08,
+    ),
+    "pc": ActivityLevels(
+        delete_rate=0.004,
+        modify_rate=0.006,
+        short_pairs_per_mb=1.0,
+        delete_run_mean=5.0,         # uninstalls remove whole trees
+        cleanup_probability=0.08,
+        cleanup_fraction=0.8,
+        longlived_median=12 * KB,
+        longlived_sigma=1.8,
+        shortlived_median=4 * KB,
+        shortlived_sigma=1.4,
+        plateau_utilization=0.55,    # home PCs run half empty
+        peak_amplitude=0.10,
+        max_utilization=0.75,
+    ),
+}
+
+
+#: Recommended ``newfs -i`` (bytes of space per inode) per profile.  A
+#: news spool full of 2 KB articles needs a dense inode table, exactly
+#: as administrators of the era tuned it; a database partition can get
+#: by with a sparse one.
+PROFILE_BYTES_PER_INODE: Dict[str, int] = {
+    "home": 16 * KB,
+    "news": 4 * KB,
+    "database": 64 * KB,
+    "pc": 16 * KB,
+}
+
+
+def get_profile(name: str) -> ActivityLevels:
+    """Look up a workload profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload profile {name!r}; choose from {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,29 @@
+"""Analysis tools: layout scores, free-space fragmentation, timelines.
+
+The layout score is the paper's central metric (Section 3.3): the
+fraction of a file's blocks that are *optimally allocated*, i.e.
+physically contiguous with the previous block of the same file.  This
+package computes it for files, file sets, whole file systems, and as a
+function of file size, plus the free-space fragmentation statistics the
+authors' earlier study ([Smith94]) used to motivate the work.
+"""
+
+from repro.analysis.layout import (
+    aggregate_layout_score,
+    file_layout_score,
+    layout_by_size_bins,
+    score_file_set,
+)
+from repro.analysis.freespace import free_cluster_histogram, free_space_stats
+from repro.analysis.timeline import DailySample, Timeline
+
+__all__ = [
+    "aggregate_layout_score",
+    "file_layout_score",
+    "layout_by_size_bins",
+    "score_file_set",
+    "free_cluster_histogram",
+    "free_space_stats",
+    "DailySample",
+    "Timeline",
+]

@@ -1,0 +1,123 @@
+"""Layout score: the paper's fragmentation metric (Section 3.3).
+
+Definitions, verbatim from the paper:
+
+* A block is **optimally allocated** when it is physically contiguous
+  with the previous block of the same file.
+* A file's **layout score** is the fraction of its blocks that are
+  optimally allocated, excluding the first block (which has no previous
+  block).  One-block files have no defined layout score.
+* A file system's **aggregate layout score** is the fraction of all
+  *countable* blocks (every block except each file's first, over files of
+  two or more blocks) that are optimally allocated.
+
+A fragment tail counts as a block at the address of the block holding its
+fragments, which matches how the paper's analysis tool walked the real
+file systems' block pointers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ffs.filesystem import FileSystem
+from repro.ffs.inode import Inode
+from repro.units import KB
+
+
+def optimal_pairs(block_list: Sequence[int]) -> Tuple[int, int]:
+    """(optimally allocated blocks, countable blocks) for one block list."""
+    countable = max(0, len(block_list) - 1)
+    optimal = sum(
+        1
+        for prev, cur in zip(block_list, block_list[1:])
+        if cur == prev + 1
+    )
+    return optimal, countable
+
+
+def file_layout_score(inode: Inode) -> Optional[float]:
+    """Layout score of one file; None when undefined (fewer than 2 blocks)."""
+    optimal, countable = optimal_pairs(inode.data_block_list())
+    if countable == 0:
+        return None
+    return optimal / countable
+
+
+def score_file_set(inodes: Iterable[Inode]) -> Optional[float]:
+    """Aggregate layout score over a set of files.
+
+    Files with fewer than two blocks contribute nothing, per the paper's
+    definition.  Returns None when no file in the set is scorable.
+    """
+    optimal = countable = 0
+    for inode in inodes:
+        o, c = optimal_pairs(inode.data_block_list())
+        optimal += o
+        countable += c
+    if countable == 0:
+        return None
+    return optimal / countable
+
+
+def aggregate_layout_score(fs: FileSystem) -> float:
+    """Aggregate layout score of all regular files on ``fs``.
+
+    Returns 1.0 for a file system with no scorable files (an empty file
+    system is trivially unfragmented).
+    """
+    score = score_file_set(fs.files())
+    return 1.0 if score is None else score
+
+
+def default_size_bins(
+    smallest: int = 16 * KB, largest: int = 32 * 1024 * KB
+) -> List[int]:
+    """The power-of-two size points of Figures 3, 5, and 6 (16 KB–32 MB)."""
+    bins: List[int] = []
+    size = smallest
+    while size <= largest:
+        bins.append(size)
+        size *= 2
+    return bins
+
+
+def layout_by_size_bins(
+    inodes: Iterable[Inode],
+    bins: Optional[Sequence[int]] = None,
+) -> Dict[int, Optional[float]]:
+    """Aggregate layout score per size bin, as in Figure 3.
+
+    Each file is assigned to the bin whose size is nearest in log space,
+    then the aggregate score is computed per bin.  Bins with no scorable
+    files map to None.
+    """
+    if bins is None:
+        bins = default_size_bins()
+    log_bins = [math.log2(b) for b in bins]
+    per_bin: Dict[int, List[Inode]] = {b: [] for b in bins}
+    for inode in inodes:
+        if inode.size <= 0:
+            continue
+        log_size = math.log2(inode.size)
+        nearest = min(range(len(bins)), key=lambda i: abs(log_bins[i] - log_size))
+        per_bin[bins[nearest]].append(inode)
+    return {b: score_file_set(members) for b, members in per_bin.items()}
+
+
+def layout_by_block_count(
+    inodes: Iterable[Inode],
+) -> Dict[int, Optional[float]]:
+    """Aggregate layout score keyed by the file's chunk count.
+
+    Finer-grained companion to :func:`layout_by_size_bins`; this is where
+    the two-block quirk (Section 4) is sharpest.
+    """
+    per_count: Dict[int, List[Inode]] = {}
+    for inode in inodes:
+        per_count.setdefault(inode.n_chunks(), []).append(inode)
+    return {
+        count: score_file_set(members)
+        for count, members in sorted(per_count.items())
+    }

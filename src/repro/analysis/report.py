@@ -1,0 +1,128 @@
+"""Text rendering of the paper's tables and figures.
+
+There is no plotting dependency in the reproduction environment, so the
+experiment harness renders each figure as an ASCII chart (good enough to
+see the curve shapes, crossovers, and dips the paper discusses) and each
+table as aligned text.  The numeric series themselves are also returned
+by every experiment, so EXPERIMENTS.md and the tests work with exact
+values rather than pictures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = Tuple[str, Sequence[float], Sequence[Optional[float]]]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table with a rule under the header."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_chart(
+    series: Sequence[Series],
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render line series as an ASCII chart.
+
+    Each series is (label, xs, ys); ys may contain None for missing
+    points.  Series are drawn with distinct marker characters and a
+    legend.  ``log_x`` plots the x axis in log2 space (file-size axes).
+    """
+    markers = "*o+x#@%&"
+    points: List[Tuple[float, float, str]] = []
+    xs_all: List[float] = []
+    ys_all: List[float] = []
+    for idx, (_label, xs, ys) in enumerate(series):
+        marker = markers[idx % len(markers)]
+        for x, y in zip(xs, ys):
+            if y is None:
+                continue
+            fx = math.log2(x) if log_x else float(x)
+            points.append((fx, float(y), marker))
+            xs_all.append(fx)
+            ys_all.append(float(y))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    if y_range is not None:
+        y_lo, y_hi = y_range
+    else:
+        y_lo, y_hi = min(ys_all), max(ys_all)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for fx, fy, marker in points:
+        col = round((fx - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((fy - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+    axis_width = 8
+    for i, row_cells in enumerate(grid):
+        y_val = y_hi - (y_hi - y_lo) * i / (height - 1)
+        label = f"{y_val:7.2f}|" if i % 4 == 0 or i == height - 1 else "       |"
+        lines.append(label + "".join(row_cells))
+    lines.append(" " * (axis_width - 1) + "+" + "-" * width)
+    left = f"{_unlog(x_lo, log_x):g}"
+    right = f"{_unlog(x_hi, log_x):g}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " * axis_width + left + " " * pad + right)
+    if xlabel:
+        lines.append(" " * axis_width + xlabel.center(width))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {label}"
+        for i, (label, _xs, _ys) in enumerate(series)
+    )
+    lines.append("  legend: " + legend)
+    if ylabel:
+        lines.insert(1 if title else 0, f"  [y: {ylabel}]")
+    return "\n".join(lines)
+
+
+def render_csv(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render series as CSV text (for external plotting tools).
+
+    Values are stringified minimally; None becomes an empty field.
+    """
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(
+            ",".join("" if cell is None else f"{cell}" for cell in row)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:,.1f}"
+    return str(value)
+
+
+def _unlog(value: float, log_x: bool) -> float:
+    return 2.0**value if log_x else value

@@ -1,0 +1,21 @@
+"""Benchmarks: the measurement side of the paper (Section 5).
+
+The benchmarks run against *simulated time*: file layouts produced by the
+FFS simulator are converted into I/O extent sequences and priced by the
+disk model.  Each benchmark is repeated with different initial platter
+angles, which is where the (small) run-to-run variation comes from —
+matching the paper's "ten runs, std dev < 1.5% of the mean".
+"""
+
+from repro.bench.timing import BenchmarkRunner, Measurement
+from repro.bench.sequential import SequentialIOBenchmark, SequentialResult
+from repro.bench.hotfiles import HotFileBenchmark, HotFileResult
+
+__all__ = [
+    "BenchmarkRunner",
+    "Measurement",
+    "SequentialIOBenchmark",
+    "SequentialResult",
+    "HotFileBenchmark",
+    "HotFileResult",
+]

@@ -1,0 +1,60 @@
+"""Benchmark repetition and measurement statistics.
+
+The paper executes every throughput benchmark ten times and reports the
+mean, noting standard deviations below 1.5–2% of the mean.  In the
+simulator the only run-to-run variation is the platter's initial angle
+(everything else is deterministic), so :class:`BenchmarkRunner` repeats a
+timed function across a set of evenly spaced initial angles and collects
+:class:`Measurement` statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Mean/stddev of a repeated throughput measurement (bytes/second)."""
+
+    values: Sequence[float]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the runs."""
+        return sum(self.values) / len(self.values)
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation of the runs."""
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / len(self.values))
+
+    @property
+    def relative_stddev(self) -> float:
+        """Standard deviation as a fraction of the mean."""
+        mu = self.mean
+        return self.stddev / mu if mu else 0.0
+
+
+class BenchmarkRunner:
+    """Runs a timed function under ``repetitions`` initial platter angles.
+
+    The timed function receives the initial angle (fraction of a
+    rotation) and must return throughput in bytes/second.
+    """
+
+    def __init__(self, repetitions: int = 10):
+        if repetitions < 1:
+            raise ValueError("need at least one repetition")
+        self.repetitions = repetitions
+
+    def angles(self) -> List[float]:
+        """Evenly spaced initial angles, one per repetition."""
+        return [i / self.repetitions for i in range(self.repetitions)]
+
+    def measure(self, timed: Callable[[float], float]) -> Measurement:
+        """Run ``timed`` once per angle and collect the results."""
+        return Measurement(values=[timed(angle) for angle in self.angles()])

@@ -1,0 +1,284 @@
+"""Command-line interface: ``repro-ffs``.
+
+Subcommands:
+
+* ``age``        — build the aging workload and replay it under one or
+  both policies, printing the daily layout-score trajectory.
+* ``workload``   — generate the aging workload and write it to a file
+  (the paper made its workload downloadable; this is ours).
+* ``experiment`` — run one experiment (``table1``, ``fig1`` ... ``fig6``,
+  ``table2``) or ``all``, and print the paper-style tables/charts.
+* ``freespace``  — age a file system and report its free-space
+  fragmentation statistics.
+
+Every subcommand takes ``--preset tiny|small|paper`` (default small).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.freespace import free_cluster_histogram, free_space_stats
+from repro.analysis.report import render_table
+from repro.experiments.config import PRESETS, aged, artifacts, get_preset
+from repro.experiments.runner import EXPERIMENTS, render_all, run_one
+from repro.units import MB, fmt_size
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-ffs`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ffs",
+        description=(
+            "Reproduction of Smith & Seltzer, 'A Comparison of FFS Disk "
+            "Allocation Policies' (USENIX 1996)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_age = sub.add_parser("age", help="age a file system and print the trajectory")
+    _add_preset(p_age)
+    p_age.add_argument(
+        "--policy", choices=["ffs", "realloc", "both"], default="both",
+        help="allocation policy to age under",
+    )
+    p_age.add_argument(
+        "--workload", metavar="FILE", default=None,
+        help="replay a workload file (from `repro-ffs workload`) instead "
+        "of the preset's generated workload",
+    )
+    p_age.add_argument(
+        "--save-image", metavar="FILE", default=None,
+        help="save the aged file system(s) as JSON images "
+        "(FILE gets a .<policy> suffix when aging both policies)",
+    )
+    p_age.set_defaults(handler=_cmd_age)
+
+    p_fsck = sub.add_parser(
+        "fsck", help="verify the invariants of a saved file-system image"
+    )
+    p_fsck.add_argument("image", help="image file from `age --save-image`")
+    p_fsck.set_defaults(handler=_cmd_fsck)
+
+    p_wl = sub.add_parser("workload", help="generate and save the aging workload")
+    _add_preset(p_wl)
+    p_wl.add_argument("output", help="path to write the workload file")
+    p_wl.add_argument(
+        "--which", choices=["reconstructed", "ground-truth"],
+        default="reconstructed", help="which workload to save",
+    )
+    p_wl.set_defaults(handler=_cmd_workload)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    _add_preset(p_exp)
+    p_exp.add_argument(
+        "name", choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment to run",
+    )
+    p_exp.add_argument(
+        "--csv", metavar="FILE", default=None,
+        help="also write the experiment's numeric series as CSV "
+        "(figures with series only)",
+    )
+    p_exp.set_defaults(handler=_cmd_experiment)
+
+    p_free = sub.add_parser(
+        "freespace", help="free-space fragmentation of an aged file system"
+    )
+    _add_preset(p_free)
+    p_free.add_argument(
+        "--policy", choices=["ffs", "realloc"], default="ffs",
+    )
+    p_free.set_defaults(handler=_cmd_freespace)
+
+    p_abl = sub.add_parser(
+        "ablation", help="run a design-choice ablation study"
+    )
+    _add_preset(p_abl)
+    p_abl.add_argument(
+        "name",
+        choices=["maxcontig", "cluster-fit", "trigger", "indirect",
+                 "fallback", "all"],
+        help="which design choice to ablate",
+    )
+    p_abl.set_defaults(handler=_cmd_ablation)
+
+    p_prof = sub.add_parser(
+        "profiles",
+        help="compare aging under different usage-pattern workloads",
+    )
+    _add_preset(p_prof)
+    p_prof.set_defaults(handler=_cmd_profiles)
+    return parser
+
+
+def _add_preset(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="small",
+        help="scale preset (default: small)",
+    )
+
+
+def _cmd_age(args: argparse.Namespace) -> int:
+    policies = ["ffs", "realloc"] if args.policy == "both" else [args.policy]
+    rows = []
+    results = {}
+    if getattr(args, "workload", None):
+        from repro.aging.replay import age_file_system
+        from repro.aging.workload import Workload
+
+        with open(args.workload) as fp:
+            workload = Workload.load(fp)
+        workload.validate()
+        preset = get_preset(args.preset)
+        for policy in policies:
+            results[policy] = age_file_system(
+                workload, params=preset.params, policy=policy
+            )
+    else:
+        for policy in policies:
+            results[policy] = aged(args.preset, policy)
+    days = results[policies[0]].timeline.days()
+    step = max(1, len(days) // 20)
+    for i in range(0, len(days), step):
+        row = [str(days[i])]
+        for policy in policies:
+            row.append(f"{results[policy].timeline.samples[i].layout_score:.3f}")
+        row.append(f"{results[policies[0]].timeline.samples[i].utilization:.2f}")
+        rows.append(row)
+    print(
+        render_table(
+            ["day"] + policies + ["util"], rows,
+            title=f"Aging trajectory (preset {args.preset})",
+        )
+    )
+    for policy in policies:
+        r = results[policy]
+        print(
+            f"{policy}: final layout score {r.timeline.final_score():.3f}, "
+            f"{r.creates} creates, {r.deletes} deletes, "
+            f"{fmt_size(r.bytes_written)} written, "
+            f"{r.skipped_no_space} ops skipped for space"
+        )
+    if getattr(args, "save_image", None):
+        from repro.ffs.image import dump_filesystem
+
+        for policy in policies:
+            path = (
+                args.save_image
+                if len(policies) == 1
+                else f"{args.save_image}.{policy}"
+            )
+            with open(path, "w") as fp:
+                dump_filesystem(results[policy].fs, fp)
+            print(f"saved {policy} image to {path}")
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.errors import ConsistencyError, SimulationError
+    from repro.ffs.image import load_filesystem
+
+    try:
+        with open(args.image) as fp:
+            fs = load_filesystem(fp, verify=True)
+    except (ConsistencyError, SimulationError) as exc:
+        print(f"CORRUPT: {exc}")
+        return 1
+    print(
+        f"clean: {len(fs.files())} files, "
+        f"{len(fs.directories)} directories, "
+        f"utilization {fs.utilization():.0%}, "
+        f"policy {fs.policy.name}"
+    )
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    art = artifacts(args.preset)
+    workload = (
+        art.reconstructed if args.which == "reconstructed" else art.ground_truth
+    )
+    with open(args.output, "w") as fp:
+        fp.write(f"# aging workload: preset={args.preset} which={args.which}\n")
+        workload.dump(fp)
+    print(
+        f"wrote {len(workload)} operations "
+        f"({workload.bytes_written() / MB:.0f} MB of writes, "
+        f"{workload.days()} days) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "all":
+        print(render_all(args.preset))
+        return 0
+    result = run_one(args.name, args.preset)
+    print(result.render())  # type: ignore[attr-defined]
+    if args.csv:
+        csv_text = getattr(result, "csv_text", None)
+        if csv_text is None:
+            print(f"note: {args.name} has no CSV series; --csv ignored")
+        else:
+            with open(args.csv, "w") as fp:
+                fp.write(csv_text())
+            print(f"wrote series to {args.csv}")
+    return 0
+
+
+def _cmd_freespace(args: argparse.Namespace) -> int:
+    fs = aged(args.preset, args.policy).fs
+    stats = free_space_stats(fs)
+    print(f"free-space fragmentation ({args.policy}, preset {args.preset}):")
+    print(f"  free blocks:        {stats.free_blocks}")
+    print(f"  free fragments:     {stats.free_frags}")
+    print(f"  free runs:          {stats.n_runs}")
+    print(f"  largest run:        {stats.largest_run} blocks "
+          f"({fmt_size(stats.largest_run * fs.params.block_size)})")
+    print(f"  mean run:           {stats.mean_run:.1f} blocks")
+    print(f"  clusterable space:  {stats.clusterable_fraction:.0%} of free blocks "
+          f"in runs >= maxcontig ({fs.params.maxcontig})")
+    histogram = free_cluster_histogram(fs)
+    rows = [(str(length), str(count)) for length, count in histogram.items()]
+    print(render_table(["run length", "count"], rows[:30]))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+
+    runners = {
+        "maxcontig": ablations.run_maxcontig_sweep,
+        "cluster-fit": ablations.run_cluster_fit_ablation,
+        "trigger": ablations.run_trigger_ablation,
+        "indirect": ablations.run_indirect_ablation,
+        "fallback": ablations.run_fallback_ablation,
+    }
+    names = list(runners) if args.name == "all" else [args.name]
+    for name in names:
+        print(runners[name](args.preset).render())
+        print()
+    return 0
+
+
+def _cmd_profiles(args: argparse.Namespace) -> int:
+    from repro.experiments import profiles
+
+    print(profiles.run(args.preset).render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Disk substrate: geometry, timing model, track buffer, raw-disk baseline.
+
+The paper benchmarks on a Seagate ST32430N behind a Bustek 946C SCSI
+controller (Table 1).  This package provides an analytical model of that
+configuration: given a sequence of I/O extents (start block, length), it
+computes service times including seeks, rotational latency, media transfer,
+track-buffer read-ahead, and the lost-rotation behaviour of back-to-back
+sequential writes that Section 5.1 of the paper leans on.
+"""
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.model import DiskModel, IOKind
+from repro.disk.request import Extent, coalesce_extents, extents_of_blocks
+from repro.disk.trackbuffer import TrackBuffer
+from repro.disk.raw import raw_read_throughput, raw_write_throughput
+
+__all__ = [
+    "DiskGeometry",
+    "DiskModel",
+    "IOKind",
+    "Extent",
+    "TrackBuffer",
+    "coalesce_extents",
+    "extents_of_blocks",
+    "raw_read_throughput",
+    "raw_write_throughput",
+]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the FFS allocation-policy reproduction.
+
+Errors are split into three families:
+
+* :class:`SimulationError` — anything raised by the simulator proper,
+* :class:`ConsistencyError` — an internal invariant was violated (these are
+  bugs, and the fsck-lite checker raises them),
+* :class:`WorkloadError` — malformed aging-workload input.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulator."""
+
+
+class OutOfSpaceError(SimulationError):
+    """The file system has no free block/fragment satisfying a request.
+
+    Mirrors the kernel's ``ENOSPC``.  Carries the cylinder group that was
+    being searched when space ran out (or ``None`` for a global failure).
+    """
+
+    def __init__(self, message: str, cg: "int | None" = None):
+        super().__init__(message)
+        self.cg = cg
+
+
+class FileNotFoundSimError(SimulationError):
+    """An operation referenced an inode that does not exist."""
+
+
+class FileExistsSimError(SimulationError):
+    """A create referenced an inode number that is already live."""
+
+
+class InvalidRequestError(SimulationError):
+    """Caller asked for something nonsensical (negative size, bad offset)."""
+
+
+class ConsistencyError(SimulationError):
+    """An internal invariant of the file system state was violated.
+
+    Raised by :mod:`repro.ffs.check`; seeing one of these means the
+    simulator itself has a bug, not the caller.
+    """
+
+
+class WorkloadError(SimulationError):
+    """An aging-workload record was malformed or out of order."""

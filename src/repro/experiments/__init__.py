@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes ``run(preset) -> <Result>`` where the
+result carries the numeric series plus a ``render()`` method producing
+the text table/chart.  Heavy artifacts (workloads, aged file systems)
+are cached per preset in :mod:`repro.experiments.config`, so running all
+experiments ages each file system only once.
+
+Index (see DESIGN.md for the full mapping):
+
+========  ==========================================================
+table1    benchmark configuration constants
+fig1      aggregate layout score over time, real vs. simulated
+fig2      aggregate layout score over time, FFS vs. FFS+realloc
+fig3      layout score as a function of file size (aged file systems)
+fig4      sequential read/write throughput vs. file size + raw disk
+fig5      layout score of the sequential benchmark's files
+table2    hot-file throughput and layout (recently modified files)
+fig6      layout score of hot files vs. file size
+========  ==========================================================
+"""
+
+from repro.experiments.config import PRESETS, Preset, get_preset
+
+__all__ = ["PRESETS", "Preset", "get_preset"]

@@ -1,0 +1,149 @@
+"""Scale presets and cached experiment artifacts.
+
+Replaying ten months of activity twice per experiment is the expensive
+part of the reproduction, so experiments share artifacts through the
+cached accessors here:
+
+* :func:`artifacts` — the aging workloads (ground truth, snapshots,
+  reconstruction) for a preset;
+* :func:`aged` — the reconstructed workload replayed under a policy;
+* :func:`aged_real` — the ground truth replayed (the "Real" curve);
+* :func:`aged_fs_copy` — a deep copy of an aged file system for
+  benchmarks that mutate it.
+
+Three presets trade fidelity for runtime.  All keep the paper's block
+and fragment sizes, ``maxcontig``, and utilization trajectory; only the
+partition size and simulated duration shrink.  EXPERIMENTS.md records
+which preset produced every reported number.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.aging.generator import AgingConfig, AgingArtifacts, build_workloads
+from repro.aging.replay import ReplayResult, age_file_system
+from repro.ffs.filesystem import FileSystem
+from repro.ffs.params import FSParams, scaled_params
+from repro.units import KB, MB
+
+
+@dataclass(frozen=True)
+class Preset:
+    """One scale point for the whole experiment suite."""
+
+    name: str
+    params: FSParams
+    days: int
+    seed: int
+    #: Total data volume of the sequential I/O benchmark (paper: 32 MB).
+    bench_total_bytes: int
+    #: Repetitions per throughput measurement (paper: 10).
+    bench_repetitions: int
+    #: File sizes swept by the sequential benchmark (Figures 4 and 5).
+    bench_file_sizes: Tuple[int, ...]
+
+
+def _paper_sizes(max_size: int) -> Tuple[int, ...]:
+    """The paper's size sweep: powers of two 16 KB..32 MB plus the
+    structurally interesting points 56 KB (cluster size), 96 KB (last
+    direct-block size), and 104 KB (first indirect size)."""
+    sizes = [16 * KB, 32 * KB, 56 * KB, 64 * KB, 96 * KB, 104 * KB, 128 * KB]
+    size = 256 * KB
+    while size <= max_size:
+        sizes.append(size)
+        size *= 2
+    return tuple(s for s in sizes if s <= max_size)
+
+
+PRESETS: Dict[str, Preset] = {
+    "tiny": Preset(
+        name="tiny",
+        params=scaled_params(24 * MB),
+        days=20,
+        seed=1996,
+        bench_total_bytes=1 * MB,
+        bench_repetitions=3,
+        bench_file_sizes=_paper_sizes(512 * KB),
+    ),
+    "small": Preset(
+        name="small",
+        params=scaled_params(96 * MB),
+        days=100,
+        seed=1996,
+        bench_total_bytes=6 * MB,
+        bench_repetitions=5,
+        bench_file_sizes=_paper_sizes(2 * MB),
+    ),
+    "paper": Preset(
+        name="paper",
+        params=FSParams(),  # 502 MB, 27 groups — Table 1 exactly
+        days=300,
+        seed=1996,
+        bench_total_bytes=32 * MB,
+        bench_repetitions=10,
+        bench_file_sizes=_paper_sizes(32 * MB),
+    ),
+}
+
+
+def get_preset(name: str) -> Preset:
+    """Look up a preset by name with a helpful error."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+
+
+@lru_cache(maxsize=None)
+def artifacts(preset_name: str) -> AgingArtifacts:
+    """The aging workloads for a preset (built once per process)."""
+    preset = get_preset(preset_name)
+    config = AgingConfig(params=preset.params, days=preset.days, seed=preset.seed)
+    return build_workloads(config)
+
+
+@lru_cache(maxsize=None)
+def aged(preset_name: str, policy: str) -> ReplayResult:
+    """The reconstructed workload replayed under ``policy``."""
+    preset = get_preset(preset_name)
+    return age_file_system(
+        artifacts(preset_name).reconstructed,
+        params=preset.params,
+        policy=policy,
+        label=f"FFS + Realloc" if policy == "realloc" else "FFS",
+    )
+
+
+@lru_cache(maxsize=None)
+def aged_real(preset_name: str) -> ReplayResult:
+    """The ground-truth workload replayed under the original policy.
+
+    This is the stand-in for "the original file system" in the Figure 1
+    validation: the activity the snapshots could not capture is present
+    here and absent from the reconstruction.
+    """
+    preset = get_preset(preset_name)
+    return age_file_system(
+        artifacts(preset_name).ground_truth,
+        params=preset.params,
+        policy="ffs",
+        label="Real",
+    )
+
+
+def aged_fs_copy(preset_name: str, policy: str) -> FileSystem:
+    """A private deep copy of an aged file system, safe to mutate."""
+    return copy.deepcopy(aged(preset_name, policy).fs)
+
+
+def clear_caches() -> None:
+    """Drop all cached artifacts (tests use this to control memory)."""
+    artifacts.cache_clear()
+    aged.cache_clear()
+    aged_real.cache_clear()

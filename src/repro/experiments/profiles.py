@@ -1,0 +1,107 @@
+"""Workload-profile study: the paper's Section 6 future work, executed.
+
+For each usage-pattern profile (home, news, database, pc) this
+experiment builds an aging workload, ages a file system under both
+allocation policies, and reports the final layout scores and realloc's
+fragmentation improvement — answering the question the paper poses:
+which file-system design parameters matter for which workload class?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict
+
+import dataclasses
+
+from repro.aging.generator import AgingConfig, build_workloads
+from repro.aging.profiles import PROFILE_BYTES_PER_INODE, PROFILES
+from repro.aging.replay import age_file_system
+from repro.analysis.freespace import free_space_stats
+from repro.analysis.report import render_table
+from repro.experiments.config import get_preset
+
+
+@dataclass(frozen=True)
+class ProfileOutcome:
+    """Both policies' results for one workload profile."""
+
+    ffs_final: float
+    realloc_final: float
+    improvement: float
+    utilization: float
+    live_files: int
+    clusterable_free: float
+
+
+@dataclass(frozen=True)
+class ProfilesResult:
+    """Outcomes for every profile."""
+
+    outcomes: Dict[str, ProfileOutcome]
+
+    def render(self) -> str:
+        """Text table of the study's results."""
+        rows = []
+        for name in sorted(self.outcomes):
+            o = self.outcomes[name]
+            rows.append(
+                (
+                    name,
+                    f"{o.ffs_final:.3f}",
+                    f"{o.realloc_final:.3f}",
+                    f"{o.improvement:.0%}",
+                    f"{o.utilization:.0%}",
+                    str(o.live_files),
+                )
+            )
+        return render_table(
+            [
+                "profile",
+                "FFS",
+                "FFS + Realloc",
+                "frag. improvement",
+                "utilization",
+                "files",
+            ],
+            rows,
+            title=(
+                "Workload profiles (Section 6 future work): final "
+                "aggregate layout scores"
+            ),
+        )
+
+
+@lru_cache(maxsize=None)
+def run(preset: str = "small") -> ProfilesResult:
+    """Age each profile's workload under both policies."""
+    p = get_preset(preset)
+    outcomes: Dict[str, ProfileOutcome] = {}
+    for name, levels in PROFILES.items():
+        # Each profile gets the inode density an administrator would
+        # have chosen for it (``newfs -i``).
+        params = dataclasses.replace(
+            p.params, bytes_per_inode=PROFILE_BYTES_PER_INODE[name]
+        )
+        config = AgingConfig(
+            params=params, days=p.days, seed=p.seed, levels=levels
+        )
+        workloads = build_workloads(config)
+        ffs = age_file_system(
+            workloads.reconstructed, params=params, policy="ffs"
+        )
+        realloc = age_file_system(
+            workloads.reconstructed, params=params, policy="realloc"
+        )
+        outcomes[name] = ProfileOutcome(
+            ffs_final=ffs.timeline.final_score(),
+            realloc_final=realloc.timeline.final_score(),
+            improvement=realloc.timeline.fragmentation_improvement_over(
+                ffs.timeline
+            ),
+            utilization=ffs.fs.utilization(),
+            live_files=len(ffs.fs.files()),
+            clusterable_free=free_space_stats(ffs.fs).clusterable_fraction,
+        )
+    return ProfilesResult(outcomes=outcomes)

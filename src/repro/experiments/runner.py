@@ -1,0 +1,65 @@
+"""Run-all entry point for the experiment suite.
+
+``run_all`` executes every experiment at one preset and returns the
+rendered text blocks in paper order; the CLI and the EXPERIMENTS.md
+generator both sit on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import (
+    empty_vs_aged,
+    lfs_compare,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    rotdelay,
+    table1,
+    table2,
+)
+
+#: Experiment registry, in the paper's presentation order.
+EXPERIMENTS: Dict[str, Callable[[str], object]] = {
+    "table1": table1.run,
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "table2": table2.run,
+    "fig6": fig6.run,
+    # Beyond the paper's evaluation section:
+    "empty-vs-aged": empty_vs_aged.run,
+    "rotdelay": rotdelay.run,
+    "lfs": lfs_compare.run,
+}
+
+
+def run_one(name: str, preset: str = "small") -> object:
+    """Run a single experiment by registry name."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(preset)
+
+
+def run_all(preset: str = "small") -> List[Tuple[str, object]]:
+    """Run every experiment at ``preset`` in paper order."""
+    return [(name, runner(preset)) for name, runner in EXPERIMENTS.items()]
+
+
+def render_all(preset: str = "small") -> str:
+    """Rendered text of the full suite, ready for the terminal."""
+    blocks = []
+    for name, result in run_all(preset):
+        blocks.append(f"{'=' * 78}\n{name} (preset: {preset})\n{'=' * 78}")
+        blocks.append(result.render())  # type: ignore[attr-defined]
+    return "\n\n".join(blocks)

@@ -1,0 +1,26 @@
+"""FFS simulator: the substrate both allocation policies run on.
+
+This package reimplements, at block/fragment granularity, the parts of the
+4.4BSD Fast File System that the paper's comparison depends on:
+
+* the division of the disk into **cylinder groups** with per-group block
+  and fragment bitmaps and free-cluster accounting,
+* **inodes** with twelve direct blocks, indirect blocks (which force a
+  cylinder-group switch — the 104 KB performance dip in Figure 4), and
+  fragment tails for small files,
+* **directories**, placed one per cylinder group by the classic
+  ``dirpref`` rule, which is what lets the aging replayer steer files to
+  the cylinder groups recorded in the workload,
+* the two **allocation policies** under study: the original one-block-at-
+  a-time FFS allocator and McKusick's cluster reallocation
+  (``ffs_reallocblks``).
+
+Nothing here stores file *contents*; the simulator tracks layout only,
+which is all the paper's metrics (layout score, extent-based throughput)
+require.
+"""
+
+from repro.ffs.params import FSParams
+from repro.ffs.filesystem import FileSystem
+
+__all__ = ["FSParams", "FileSystem"]

@@ -1,0 +1,46 @@
+"""Allocation policies: original FFS vs. McKusick's realloc.
+
+Both policies share the same block-at-a-time allocator (preference chain,
+``ffs_hashalloc`` group fallback); they differ only in what happens when a
+cluster of logically sequential dirty blocks is about to reach the disk:
+
+* :class:`~repro.ffs.alloc.original.OriginalPolicy` does nothing — blocks
+  stay wherever the one-at-a-time allocator put them;
+* :class:`~repro.ffs.alloc.realloc.ReallocPolicy` gathers the cluster and
+  tries to relocate it into a free run of the right size
+  (``ffs_reallocblks`` + ``ffs_clusteralloc``).
+"""
+
+from repro.ffs.alloc.policy import AllocPolicy
+from repro.ffs.alloc.original import OriginalPolicy
+from repro.ffs.alloc.realloc import EagerReallocPolicy, ReallocPolicy
+from repro.ffs.alloc.smart import SmartFallbackPolicy
+
+POLICIES = {
+    OriginalPolicy.name: OriginalPolicy,
+    ReallocPolicy.name: ReallocPolicy,
+    EagerReallocPolicy.name: EagerReallocPolicy,
+    SmartFallbackPolicy.name: SmartFallbackPolicy,
+}
+
+
+def make_policy(name: str, superblock) -> AllocPolicy:
+    """Instantiate a policy by name (``"ffs"`` or ``"realloc"``)."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocation policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    return cls(superblock)
+
+
+__all__ = [
+    "AllocPolicy",
+    "OriginalPolicy",
+    "ReallocPolicy",
+    "EagerReallocPolicy",
+    "SmartFallbackPolicy",
+    "POLICIES",
+    "make_policy",
+]

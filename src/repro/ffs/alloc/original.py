@@ -1,0 +1,24 @@
+"""The original FFS allocation policy (pre-4.4BSD-Lite).
+
+Blocks are allocated one at a time.  For each new block the allocator
+prefers the address immediately following the file's previous block; when
+that block is taken it settles for the next free block scanning forward in
+the cylinder group — *without considering how large a free run that block
+belongs to*.  Section 2 of the paper singles this out as the root cause of
+long-term fragmentation: "if there is just one free block in a good
+location and a cluster of ten free blocks in a slightly worse location,
+FFS will allocate the single free block."
+
+All of that behaviour lives in the shared base class; this policy simply
+declines to do anything at cluster boundaries.
+"""
+
+from __future__ import annotations
+
+from repro.ffs.alloc.policy import AllocPolicy
+
+
+class OriginalPolicy(AllocPolicy):
+    """One-block-at-a-time allocation with no reallocation step."""
+
+    name = "ffs"

@@ -1,0 +1,112 @@
+"""Shared allocation machinery and the policy interface.
+
+The two-step FFS allocation described in Section 2 of the paper lives
+here: :meth:`AllocPolicy.alloc_data_block` picks the cylinder group (the
+file's current allocation group, with ``ffs_hashalloc`` fallback when it
+is full) and then lets the group pick the block (preferred address first,
+next free block otherwise).  Policies override the two *cluster* hooks —
+:meth:`window_complete` and :meth:`finalize` — which the file system
+invokes as logically-sequential runs of newly written blocks become ready
+to hit the disk.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import OutOfSpaceError
+from repro.ffs.cg import CylinderGroup
+from repro.ffs.inode import Inode
+from repro.ffs.superblock import Superblock
+
+
+class AllocPolicy:
+    """Base class: block-at-a-time allocation, no reallocation."""
+
+    #: Registry key; subclasses define ``"ffs"`` / ``"realloc"``.
+    name = "base"
+
+    def __init__(self, superblock: Superblock):
+        self.sb = superblock
+        self.params = superblock.params
+
+    # ------------------------------------------------------------------
+    # Block-at-a-time allocation (shared by both policies)
+    # ------------------------------------------------------------------
+
+    def alloc_data_block(self, inode: Inode, pref: Optional[int]) -> int:
+        """Allocate one data block for ``inode``.
+
+        ``pref`` is the preferred global block address (normally the
+        block after the file's previous block, per ``ffs_blkpref``); the
+        search starts in the inode's current allocation group and rehashes
+        across groups only when that group is completely full.
+        """
+
+        def attempt(cg: CylinderGroup) -> Optional[int]:
+            try:
+                local_pref = pref if pref is not None and cg.owns_block(pref) else None
+                return cg.alloc_block(local_pref)
+            except OutOfSpaceError:
+                return None
+
+        return self.sb.hashalloc(inode.alloc_cg, attempt)
+
+    def alloc_indirect_block(self, inode: Inode) -> int:
+        """Allocate an indirect block, switching the file's group first.
+
+        Per the paper's footnote 1, each indirect block moves allocation
+        to a different cylinder group; the indirect block itself is the
+        first allocation in the new group and subsequent data blocks
+        chain after it.  The ``indirect_switches_cg`` parameter ablates
+        the switch for the corresponding design-choice benchmark.
+        """
+        if self.params.indirect_switches_cg:
+            inode.alloc_cg = self.sb.next_cg_for_file(inode.alloc_cg)
+
+        def attempt(cg: CylinderGroup) -> Optional[int]:
+            try:
+                return cg.alloc_block(None)
+            except OutOfSpaceError:
+                return None
+
+        block = self.sb.hashalloc(inode.alloc_cg, attempt)
+        inode.alloc_cg = self.params.cg_of_block(block)
+        return block
+
+    def alloc_tail_frags(
+        self, inode: Inode, nfrags: int, pref: Optional[Tuple[int, int]]
+    ) -> Tuple[int, int]:
+        """Allocate a file tail of ``nfrags`` fragments."""
+
+        def attempt(cg: CylinderGroup) -> Optional[Tuple[int, int]]:
+            try:
+                local_pref = (
+                    pref if pref is not None and cg.owns_block(pref[0]) else None
+                )
+                return cg.alloc_frags(nfrags, local_pref)
+            except OutOfSpaceError:
+                return None
+
+        return self.sb.hashalloc(inode.alloc_cg, attempt)
+
+    # ------------------------------------------------------------------
+    # Cluster hooks (the policies' point of difference)
+    # ------------------------------------------------------------------
+
+    def window_complete(self, inode: Inode, start_lbn: int, end_lbn: int) -> None:
+        """A full cluster window of ``inode`` just finished being written.
+
+        Called with logical block range [start_lbn, end_lbn) once that
+        range contains ``maxcontig`` blocks or reaches an indirect-block
+        boundary.  The base policy leaves the blocks where they are.
+        """
+
+    def finalize(self, inode: Inode, start_lbn: int, end_lbn: int) -> None:
+        """The file is complete; [start_lbn, end_lbn) is the final partial
+        window (possibly empty).  The base policy does nothing."""
+
+
+def run_is_contiguous(blocks: "list[int]") -> bool:
+    """Whether a logical run of block addresses is physically contiguous."""
+    return all(blocks[i + 1] == blocks[i] + 1 for i in range(len(blocks) - 1))

@@ -1,0 +1,175 @@
+"""Fragment bitmap for one cylinder group.
+
+FFS allocates whole 8 KB blocks for the body of a file and 1 KB fragments
+for the tail of small files, so the on-disk free map is kept at fragment
+granularity.  ``FragBitmap`` mirrors that: one bit per fragment, plus two
+derived indexes the allocator needs constantly —
+
+* ``free_in_block`` — per-block free-fragment counts (a block is a *free
+  block* iff all of its fragments are free),
+* a fragment-run index equivalent to the kernel's ``cg_frsum``: for each
+  run length 1..7, which partially-allocated blocks currently contain a
+  maximal free run of that length.  This is what makes the kernel's
+  best-fit fragment allocation O(1).
+
+All addresses here are *local* to the cylinder group; the
+:class:`~repro.ffs.cg.CylinderGroup` wrapper translates to and from global
+block numbers.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+
+class FragBitmap:
+    """Per-fragment allocation state for ``nblocks`` blocks."""
+
+    def __init__(self, nblocks: int, frags_per_block: int):
+        if nblocks <= 0:
+            raise ValueError("bitmap needs at least one block")
+        if not 1 <= frags_per_block <= 8:
+            raise ValueError("FFS supports 1..8 fragments per block")
+        self.nblocks = nblocks
+        self.fpb = frags_per_block
+        # 0 = free, 1 = allocated, one byte per fragment (fast and simple).
+        self._bits = bytearray(nblocks * frags_per_block)
+        self._free_in_block = array("B", [frags_per_block] * nblocks)
+        self.free_frags = nblocks * frags_per_block
+        # frag-run index: run length -> {block: None}; insertion-ordered
+        # dicts keep the allocator deterministic.
+        self._runs: Dict[int, Dict[int, None]] = {
+            length: {} for length in range(1, frags_per_block)
+        }
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def is_frag_free(self, block: int, offset: int) -> bool:
+        """Whether fragment ``offset`` of ``block`` is free."""
+        self._check(block, offset, 1)
+        return self._bits[block * self.fpb + offset] == 0
+
+    def block_is_free(self, block: int) -> bool:
+        """Whether every fragment of ``block`` is free."""
+        return self._free_in_block[block] == self.fpb
+
+    def block_is_full(self, block: int) -> bool:
+        """Whether every fragment of ``block`` is allocated."""
+        return self._free_in_block[block] == 0
+
+    def free_in_block(self, block: int) -> int:
+        """Number of free fragments in ``block``."""
+        return self._free_in_block[block]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def alloc_run(self, block: int, offset: int, nfrags: int) -> None:
+        """Mark ``nfrags`` fragments starting at (block, offset) allocated."""
+        self._check(block, offset, nfrags)
+        base = block * self.fpb + offset
+        for i in range(base, base + nfrags):
+            if self._bits[i]:
+                raise ValueError(
+                    f"double allocation: block {block} frag {i - block * self.fpb}"
+                )
+            self._bits[i] = 1
+        self._free_in_block[block] -= nfrags
+        self.free_frags -= nfrags
+        self._reindex(block)
+
+    def free_run(self, block: int, offset: int, nfrags: int) -> None:
+        """Mark ``nfrags`` fragments starting at (block, offset) free."""
+        self._check(block, offset, nfrags)
+        base = block * self.fpb + offset
+        for i in range(base, base + nfrags):
+            if not self._bits[i]:
+                raise ValueError(
+                    f"double free: block {block} frag {i - block * self.fpb}"
+                )
+            self._bits[i] = 0
+        self._free_in_block[block] += nfrags
+        self.free_frags += nfrags
+        self._reindex(block)
+
+    # ------------------------------------------------------------------
+    # Fragment-run queries (the cg_frsum equivalent)
+    # ------------------------------------------------------------------
+
+    def frag_runs(self, block: int) -> List[Tuple[int, int]]:
+        """Maximal free fragment runs of ``block`` as (offset, length)."""
+        runs: List[Tuple[int, int]] = []
+        base = block * self.fpb
+        start: Optional[int] = None
+        for off in range(self.fpb):
+            if self._bits[base + off] == 0:
+                if start is None:
+                    start = off
+            elif start is not None:
+                runs.append((start, off - start))
+                start = None
+        if start is not None:
+            runs.append((start, self.fpb - start))
+        return runs
+
+    def find_run_in_block(self, block: int, nfrags: int) -> Optional[int]:
+        """Offset of the first free run of >= ``nfrags`` in ``block``."""
+        for offset, length in self.frag_runs(block):
+            if length >= nfrags:
+                return offset
+        return None
+
+    def run_is_free(self, block: int, offset: int, nfrags: int) -> bool:
+        """Whether the exact run (block, offset, nfrags) is entirely free."""
+        self._check(block, offset, nfrags)
+        base = block * self.fpb + offset
+        return all(self._bits[i] == 0 for i in range(base, base + nfrags))
+
+    def partial_blocks_with_run(self, nfrags: int) -> List[int]:
+        """Partially-allocated blocks containing a free run >= ``nfrags``.
+
+        This is the ``cg_frsum`` query: it tells the allocator which
+        partial blocks could donate a fragment run, without scanning the
+        bitmap.  The caller picks among them by distance from its
+        preference, reproducing ``ffs_mapsearch``'s first-fit-from-
+        preference order.
+        """
+        if not 1 <= nfrags < self.fpb:
+            raise ValueError(f"fragment allocations are 1..{self.fpb - 1} frags")
+        found: Dict[int, None] = {}
+        for length in range(nfrags, self.fpb):
+            for block in self._runs[length]:
+                found[block] = None
+        return list(found)
+
+    def frsum(self) -> Dict[int, int]:
+        """Counts of partial blocks indexed under each run length."""
+        return {length: len(bucket) for length, bucket in self._runs.items()}
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _reindex(self, block: int) -> None:
+        """Refresh the frag-run index entries for one block."""
+        for bucket in self._runs.values():
+            bucket.pop(block, None)
+        free = self._free_in_block[block]
+        if free == 0 or free == self.fpb:
+            return  # full or wholly free blocks are not fragment donors
+        for _offset, length in self.frag_runs(block):
+            self._runs[length][block] = None
+
+    def _check(self, block: int, offset: int, nfrags: int) -> None:
+        if not 0 <= block < self.nblocks:
+            raise ValueError(f"block {block} out of range 0..{self.nblocks - 1}")
+        if not 0 <= offset < self.fpb:
+            raise ValueError(f"fragment offset {offset} out of range")
+        if nfrags < 1 or offset + nfrags > self.fpb:
+            raise ValueError(
+                f"fragment run ({offset}, {nfrags}) crosses a block boundary"
+            )

@@ -1,0 +1,334 @@
+"""Cylinder groups: the allocation pools of FFS.
+
+A cylinder group owns a contiguous slice of the disk's blocks, its own
+inode table, and its own free maps.  All allocation decisions in FFS are
+made *within* a group once the group has been chosen, so this class is
+where the bitmap (:class:`~repro.ffs.bitmap.FragBitmap`) and the free-run
+interval map (:class:`~repro.ffs.clustermap.BlockRunMap`) are kept
+mutually consistent:
+
+* the run map contains exactly the wholly-free blocks,
+* the bitmap is the fragment-granularity ground truth.
+
+The leading blocks of each group are reserved for the superblock copy,
+group descriptor, and inode table, as in a real ``newfs``; those addresses
+double as the targets of synchronous metadata writes in the performance
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ConsistencyError, OutOfSpaceError
+from repro.ffs.bitmap import FragBitmap
+from repro.ffs.clustermap import BlockRunMap
+from repro.ffs.params import FSParams
+
+FragRef = Tuple[int, int]  # (global block number, fragment offset)
+
+
+class CylinderGroup:
+    """One cylinder group: free maps, inode table, allocation rotor."""
+
+    def __init__(self, params: FSParams, index: int):
+        if not 0 <= index < params.ncg:
+            raise ValueError(f"cylinder group index {index} out of range")
+        self.params = params
+        self.index = index
+        self.base = params.cg_base_block(index)
+        self.nblocks = params.blocks_per_cg
+        self.bitmap = FragBitmap(self.nblocks, params.frags_per_block)
+        self.runmap = BlockRunMap(self.nblocks)
+        self._inode_used = bytearray(params.inodes_per_cg)
+        self.nifree = params.inodes_per_cg
+        self.ndirs = 0
+        #: Next-allocation hint, like the kernel's cg rotor.
+        self.rotor = params.metadata_blocks_per_cg
+        for local in range(params.metadata_blocks_per_cg):
+            self._take_whole_block(local)
+
+    # ------------------------------------------------------------------
+    # Address translation
+    # ------------------------------------------------------------------
+
+    def _local(self, block: int) -> int:
+        local = block - self.base
+        if not 0 <= local < self.nblocks:
+            raise ValueError(
+                f"block {block} does not belong to cylinder group {self.index}"
+            )
+        return local
+
+    def owns_block(self, block: int) -> bool:
+        """Whether global ``block`` falls inside this group."""
+        return self.base <= block < self.base + self.nblocks
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    @property
+    def free_frags(self) -> int:
+        """Free fragments in the group (bitmap granularity)."""
+        return self.bitmap.free_frags
+
+    @property
+    def free_blocks(self) -> int:
+        """Wholly-free blocks in the group."""
+        return self.runmap.free_blocks
+
+    def max_free_run(self) -> int:
+        """Longest run of wholly-free blocks."""
+        return self.runmap.max_run()
+
+    # ------------------------------------------------------------------
+    # Whole-block allocation
+    # ------------------------------------------------------------------
+
+    def alloc_block(self, pref: Optional[int] = None) -> int:
+        """Allocate one block, preferring global address ``pref``.
+
+        If ``pref`` is taken, falls back to the next free block scanning
+        forward (cyclically) from it — the ``ffs_mapsearch`` order, which
+        deliberately ignores how large a free run the fallback block sits
+        in.  Raises :class:`OutOfSpaceError` when the group has no free
+        block.
+        """
+        if pref is not None and self.owns_block(pref):
+            start = self._local(pref)
+        else:
+            start = self.rotor % self.nblocks
+        local = self.runmap.find_free_block(start)
+        if local is None:
+            raise OutOfSpaceError(
+                f"cylinder group {self.index} has no free block", cg=self.index
+            )
+        self._take_whole_block(local)
+        self.rotor = (local + 1) % self.nblocks
+        return self.base + local
+
+    def alloc_block_at(self, block: int) -> None:
+        """Allocate the specific global ``block`` (must be wholly free)."""
+        local = self._local(block)
+        if not self.runmap.is_free(local):
+            raise OutOfSpaceError(f"block {block} is not free", cg=self.index)
+        self._take_whole_block(local)
+
+    def free_block(self, block: int) -> None:
+        """Free a wholly-allocated block."""
+        local = self._local(block)
+        if self.bitmap.free_in_block(local) != 0:
+            raise ConsistencyError(
+                f"freeing block {block} that is not fully allocated"
+            )
+        self.bitmap.free_run(local, 0, self.params.frags_per_block)
+        self.runmap.free(local)
+
+    # ------------------------------------------------------------------
+    # Cluster allocation (used by the realloc policy)
+    # ------------------------------------------------------------------
+
+    def find_free_cluster(self, length: int, pref: Optional[int] = None) -> Optional[int]:
+        """Global start of a free run of >= ``length`` blocks, or None.
+
+        The search begins at ``pref`` (global) and wraps within the group,
+        so a cluster that would seamlessly continue the caller's previous
+        cluster is found first when one exists.
+        """
+        if pref is not None and self.owns_block(pref):
+            start = self._local(pref)
+        else:
+            # No usable preference: search from the rotor, where recent
+            # allocation activity is, rather than the group's start.
+            start = self.rotor % self.nblocks
+        local = self.runmap.find_free_run(
+            length, start, fit=self.params.cluster_fit
+        )
+        if local is None:
+            return None
+        return self.base + local
+
+    def alloc_cluster(self, start: int, length: int) -> None:
+        """Allocate ``length`` consecutive blocks starting at global ``start``."""
+        local = self._local(start)
+        if local + length > self.nblocks:
+            raise OutOfSpaceError(
+                f"cluster ({start}, {length}) crosses the group boundary",
+                cg=self.index,
+            )
+        for i in range(length):
+            if not self.runmap.is_free(local + i):
+                raise OutOfSpaceError(
+                    f"cluster block {start + i} is not free", cg=self.index
+                )
+        for i in range(length):
+            self._take_whole_block(local + i)
+        self.rotor = (local + length) % self.nblocks
+
+    # ------------------------------------------------------------------
+    # Fragment allocation
+    # ------------------------------------------------------------------
+
+    def alloc_frags(
+        self, nfrags: int, pref: Optional[FragRef] = None
+    ) -> FragRef:
+        """Allocate ``nfrags`` contiguous fragments within one block.
+
+        Search order mirrors ``ffs_alloccg`` + ``ffs_mapsearch``:
+
+        1. the exact preferred position, when given and free (this is
+           what lets a fresh file's tail land immediately after its last
+           full block, and lets an existing tail extend in place),
+        2. otherwise, the *nearest* adequate free run scanning forward
+           (cyclically) from the preference — whether that run lives in a
+           partially-allocated block or at the start of a wholly-free
+           block, exactly as a raw bitmap scan would find it.
+
+        Raises :class:`OutOfSpaceError` if the group has no adequate run.
+        """
+        fpb = self.params.frags_per_block
+        if not 1 <= nfrags < fpb:
+            raise ValueError(f"fragment allocations are 1..{fpb - 1} frags")
+        if pref is not None and self.owns_block(pref[0]):
+            local, offset = self._local(pref[0]), pref[1]
+            if offset + nfrags <= fpb and self.bitmap.run_is_free(
+                local, offset, nfrags
+            ):
+                self._take_frags(local, offset, nfrags)
+                return (pref[0], offset)
+            start = local
+        else:
+            start = self.rotor % self.nblocks
+
+        best_block: Optional[int] = None
+        best_dist = self.nblocks + 1
+        for candidate in self.bitmap.partial_blocks_with_run(nfrags):
+            dist = (candidate - start) % self.nblocks
+            if dist < best_dist:
+                best_block, best_dist = candidate, dist
+        free_block = self.runmap.find_free_block(start)
+        if free_block is not None:
+            dist = (free_block - start) % self.nblocks
+            if dist < best_dist:
+                best_block, best_dist = free_block, dist
+        if best_block is None:
+            raise OutOfSpaceError(
+                f"cylinder group {self.index} has no free run of "
+                f"{nfrags} fragments",
+                cg=self.index,
+            )
+        offset = (
+            0
+            if self.bitmap.block_is_free(best_block)
+            else self.bitmap.find_run_in_block(best_block, nfrags)
+        )
+        if offset is None:
+            raise ConsistencyError(
+                f"frag-run index advertised block {best_block} with no run"
+            )
+        self._take_frags(best_block, offset, nfrags)
+        return (self.base + best_block, offset)
+
+    def extend_frags(
+        self, block: int, offset: int, old_nfrags: int, new_nfrags: int
+    ) -> bool:
+        """Grow a fragment run in place if the next fragments are free.
+
+        Returns True on success; on failure the run is untouched and the
+        caller must allocate elsewhere and "copy".
+        """
+        if new_nfrags <= old_nfrags:
+            raise ValueError("extend_frags only grows runs")
+        fpb = self.params.frags_per_block
+        if offset + new_nfrags > fpb:
+            return False
+        local = self._local(block)
+        extra = new_nfrags - old_nfrags
+        if not self.bitmap.run_is_free(local, offset + old_nfrags, extra):
+            return False
+        self._take_frags(local, offset + old_nfrags, extra)
+        return True
+
+    def alloc_frags_at(self, block: int, offset: int, nfrags: int) -> None:
+        """Allocate the exact fragment run (block, offset, nfrags).
+
+        Used when restoring a file-system image; raises if any of the
+        fragments is already taken.
+        """
+        local = self._local(block)
+        if not self.bitmap.run_is_free(local, offset, nfrags):
+            raise OutOfSpaceError(
+                f"fragment run ({block}, {offset}, {nfrags}) is not free",
+                cg=self.index,
+            )
+        self._take_frags(local, offset, nfrags)
+
+    def free_frag_run(self, block: int, offset: int, nfrags: int) -> None:
+        """Free ``nfrags`` fragments at (block, offset)."""
+        local = self._local(block)
+        self.bitmap.free_run(local, offset, nfrags)
+        if self.bitmap.block_is_free(local):
+            self.runmap.free(local)
+
+    # ------------------------------------------------------------------
+    # Inode allocation
+    # ------------------------------------------------------------------
+
+    def alloc_inode(self, is_dir: bool = False) -> int:
+        """Allocate the lowest-numbered free inode in this group."""
+        if self.nifree == 0:
+            raise OutOfSpaceError(
+                f"cylinder group {self.index} has no free inode", cg=self.index
+            )
+        idx = self._inode_used.find(0)
+        if idx < 0:
+            raise ConsistencyError(
+                f"nifree={self.nifree} but inode map of group {self.index} is full"
+            )
+        self._inode_used[idx] = 1
+        self.nifree -= 1
+        if is_dir:
+            self.ndirs += 1
+        return self.index * self.params.inodes_per_cg + idx
+
+    def alloc_inode_at(self, ino: int, is_dir: bool = False) -> None:
+        """Allocate the specific inode number ``ino`` (image restore)."""
+        idx = ino - self.index * self.params.inodes_per_cg
+        if not 0 <= idx < self.params.inodes_per_cg:
+            raise ValueError(f"inode {ino} not in cylinder group {self.index}")
+        if self._inode_used[idx]:
+            raise OutOfSpaceError(f"inode {ino} is already in use", cg=self.index)
+        self._inode_used[idx] = 1
+        self.nifree -= 1
+        if is_dir:
+            self.ndirs += 1
+
+    def free_inode(self, ino: int, is_dir: bool = False) -> None:
+        """Free inode number ``ino`` (must belong to this group)."""
+        idx = ino - self.index * self.params.inodes_per_cg
+        if not 0 <= idx < self.params.inodes_per_cg:
+            raise ValueError(f"inode {ino} not in cylinder group {self.index}")
+        if not self._inode_used[idx]:
+            raise ConsistencyError(f"double free of inode {ino}")
+        self._inode_used[idx] = 0
+        self.nifree += 1
+        if is_dir:
+            if self.ndirs <= 0:
+                raise ConsistencyError(
+                    f"directory count of group {self.index} went negative"
+                )
+            self.ndirs -= 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _take_whole_block(self, local: int) -> None:
+        self.runmap.alloc(local)
+        self.bitmap.alloc_run(local, 0, self.params.frags_per_block)
+
+    def _take_frags(self, local: int, offset: int, nfrags: int) -> None:
+        if self.bitmap.block_is_free(local):
+            self.runmap.alloc(local)
+        self.bitmap.alloc_run(local, offset, nfrags)

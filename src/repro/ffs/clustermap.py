@@ -1,0 +1,193 @@
+"""Free-cluster tracking for one cylinder group.
+
+4.4BSD added per-group *cluster summaries* (``cg_clustersum``) so that the
+clustering allocator could ask "does this group have a free run of N
+blocks?" without scanning the bitmap.  ``BlockRunMap`` is the equivalent
+structure here: it maintains the set of maximal runs of wholly-free blocks
+as an interval map, supporting
+
+* point allocation/free of single blocks (splitting/merging runs),
+* "first free block at or after a preference, cyclically" — the search
+  order of ``ffs_mapsearch``,
+* "first free run of >= N blocks at or after a preference, cyclically" —
+  the search ``ffs_clusteralloc`` performs for the realloc policy.
+
+All indices are local to the cylinder group.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Dict, List, Optional, Tuple
+
+
+class BlockRunMap:
+    """Interval map of free block runs within ``nblocks`` blocks."""
+
+    def __init__(self, nblocks: int, initially_free: bool = True):
+        if nblocks <= 0:
+            raise ValueError("run map needs at least one block")
+        self.nblocks = nblocks
+        self._starts: List[int] = []
+        self._len_at: Dict[int, int] = {}
+        self.free_blocks = 0
+        if initially_free:
+            self._insert(0, nblocks)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_free(self, block: int) -> bool:
+        """Whether ``block`` lies inside some free run."""
+        return self._run_containing(block) is not None
+
+    def runs(self) -> List[Tuple[int, int]]:
+        """All free runs as (start, length), ordered by start."""
+        return [(s, self._len_at[s]) for s in self._starts]
+
+    def max_run(self) -> int:
+        """Length of the longest free run (0 if none)."""
+        if not self._starts:
+            return 0
+        return max(self._len_at[s] for s in self._starts)
+
+    def find_free_block(self, pref: int = 0) -> Optional[int]:
+        """First free block at or after ``pref``, wrapping around.
+
+        This is the fallback search of the *original* allocator: it takes
+        the next free block regardless of how large a run it sits in —
+        precisely the behaviour the paper blames for long-term
+        fragmentation.
+        """
+        if not self._starts:
+            return None
+        pref %= self.nblocks
+        idx = bisect_right(self._starts, pref) - 1
+        if idx >= 0:
+            start = self._starts[idx]
+            if pref < start + self._len_at[start]:
+                return pref  # the preferred block itself is free
+        nxt = bisect_right(self._starts, pref)
+        if nxt < len(self._starts):
+            return self._starts[nxt]
+        return self._starts[0]  # wrap
+
+    def find_free_run(
+        self, length: int, pref: int = 0, fit: str = "firstfit"
+    ) -> Optional[int]:
+        """Start of a free run of >= ``length``, preferring continuation.
+
+        Search order mirrors ``ffs_clusteralloc``:
+
+        1. if the run containing ``pref`` still has ``length`` blocks
+           from ``pref`` onward, return ``pref`` itself — a cluster that
+           seamlessly continues the caller's previous allocation;
+        2. otherwise by ``fit``:
+
+           * ``"firstfit"`` (the kernel's behaviour) — the lowest-address
+             run of >= ``length`` blocks.  Address-ordered first fit
+             concentrates relocated clusters at the front of the group
+             and preserves the large free runs behind them;
+           * ``"bestfit"`` — the smallest adequate run (first such run
+             at/after ``pref``, cyclically).  Exact fits leave no
+             crumbs; kept as an ablation of the design choice.
+        """
+        if length < 1:
+            raise ValueError("cluster length must be >= 1")
+        if fit not in ("firstfit", "bestfit"):
+            raise ValueError(f"unknown fit strategy {fit!r}")
+        if not self._starts:
+            return None
+        pref %= self.nblocks
+        idx = bisect_right(self._starts, pref) - 1
+        if idx >= 0:
+            start = self._starts[idx]
+            run_len = self._len_at[start]
+            if pref < start + run_len and start + run_len - pref >= length:
+                return pref
+        if fit == "firstfit":
+            for start in self._starts:
+                if self._len_at[start] >= length:
+                    return start
+            return None
+        n = len(self._starts)
+        first = bisect_right(self._starts, pref)
+        best_start: Optional[int] = None
+        best_len = self.nblocks + 1
+        for i in range(n):
+            start = self._starts[(first + i) % n]
+            run_len = self._len_at[start]
+            if length <= run_len < best_len:
+                best_start, best_len = start, run_len
+                if run_len == length:
+                    break  # exact fit cannot be beaten
+        return best_start
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def alloc(self, block: int) -> None:
+        """Remove ``block`` from the free map (it must be free)."""
+        start = self._run_containing(block)
+        if start is None:
+            raise ValueError(f"block {block} is not free")
+        length = self._len_at[start]
+        self._remove(start)
+        if block > start:
+            self._insert(start, block - start)
+        tail = start + length - (block + 1)
+        if tail:
+            self._insert(block + 1, tail)
+
+    def alloc_range(self, start: int, length: int) -> None:
+        """Remove ``length`` consecutive blocks starting at ``start``."""
+        for b in range(start, start + length):
+            self.alloc(b)
+
+    def free(self, block: int) -> None:
+        """Return ``block`` to the free map, merging with neighbours."""
+        if not 0 <= block < self.nblocks:
+            raise ValueError(f"block {block} out of range")
+        if self.is_free(block):
+            raise ValueError(f"block {block} is already free")
+        start, length = block, 1
+        left = self._run_containing(block - 1) if block > 0 else None
+        if left is not None:
+            left_len = self._len_at[left]
+            self._remove(left)
+            start = left
+            length += left_len
+        if block + 1 < self.nblocks and block + 1 in self._len_at:
+            right_len = self._len_at[block + 1]
+            self._remove(block + 1)
+            length += right_len
+        self._insert(start, length)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _run_containing(self, block: int) -> Optional[int]:
+        if block < 0 or block >= self.nblocks or not self._starts:
+            return None
+        idx = bisect_right(self._starts, block) - 1
+        if idx < 0:
+            return None
+        start = self._starts[idx]
+        if block < start + self._len_at[start]:
+            return start
+        return None
+
+    def _insert(self, start: int, length: int) -> None:
+        insort(self._starts, start)
+        self._len_at[start] = length
+        self.free_blocks += length
+
+    def _remove(self, start: int) -> None:
+        idx = bisect_right(self._starts, start) - 1
+        if idx < 0 or self._starts[idx] != start:
+            raise ValueError(f"no run starts at {start}")
+        del self._starts[idx]
+        self.free_blocks -= self._len_at.pop(start)

@@ -1,0 +1,228 @@
+"""File-system parameters (the right-hand column of Table 1).
+
+``FSParams`` plays the role of the FFS superblock's geometry fields plus
+the ``newfs`` command line: block and fragment sizes, cylinder-group
+count, the cluster-size bound (``maxcontig``), and the free-space reserve.
+The paper's file systems were built to match the *source* file system
+(502 MB, 8 KB blocks, 1 KB fragments, 56 KB maximum cluster, 27 cylinder
+groups) rather than the benchmark disk, and Table 1 marks those fields in
+italics; we reproduce the same values as defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import KB, MB
+
+
+@dataclass(frozen=True)
+class FSParams:
+    """Geometry and policy parameters of a simulated FFS.
+
+    The fields below are the knobs the paper's experiments turn; everything
+    else about the file system is derived from them.
+    """
+
+    #: Requested partition size in bytes (rounded to whole cylinder groups).
+    size_bytes: int = 502 * MB
+    #: Full allocation unit ("block").
+    block_size: int = 8 * KB
+    #: Sub-block allocation unit ("fragment").
+    frag_size: int = 1 * KB
+    #: Number of cylinder groups.
+    ncg: int = 27
+    #: Maximum cluster length in blocks (``maxcontig``); 7 blocks = 56 KB.
+    maxcontig: int = 7
+    #: Fraction of fragments held back as the free-space reserve
+    #: (``minfree``); the paper's utilization figures treat this 10% as
+    #: free space.
+    minfree: float = 0.10
+    #: Bytes of file-system space per inode (``newfs -i``); determines
+    #: inodes per group and hence the size of each group's inode table.
+    bytes_per_inode: int = 16 * KB
+    #: Number of direct block pointers in an inode (``NDADDR``).
+    ndaddr: int = 12
+    #: On-disk inode size in bytes, used to size the inode table.
+    inode_size: int = 128
+    #: Rotational gap between successive blocks (``rotdelay``); 0 on
+    #: modern-for-1996 drives with track buffers, per Table 1.
+    rotdelay: int = 0
+    #: Free-cluster search strategy for the realloc policy:
+    #: ``"firstfit"`` is the kernel's address-ordered search;
+    #: ``"bestfit"`` is an ablation that minimises split remainders.
+    cluster_fit: str = "firstfit"
+    #: Whether allocating an indirect block moves the file to a new
+    #: cylinder group (paper footnote 1).  Setting this False is an
+    #: ablation that removes the mandatory 13th-block seek — and with it
+    #: the 104 KB dip of Figure 4.
+    indirect_switches_cg: bool = True
+    #: Maximum blocks one file may allocate in a cylinder group before
+    #: ``ffs_blkpref`` moves it to a fresh group (``fs_maxbpg``); None
+    #: means the ``newfs`` default of a quarter of a group.  This is
+    #: what keeps one huge file from monopolising a group.
+    maxbpg: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.block_size % self.frag_size:
+            raise ValueError("block size must be a multiple of fragment size")
+        if self.block_size // self.frag_size > 8:
+            raise ValueError("FFS allows at most 8 fragments per block")
+        if self.ncg < 1:
+            raise ValueError("need at least one cylinder group")
+        if self.maxcontig < 1:
+            raise ValueError("maxcontig must be >= 1")
+        if not 0.0 <= self.minfree < 0.5:
+            raise ValueError("minfree must be a sane reserve fraction")
+        if self.blocks_per_cg < self.metadata_blocks_per_cg + self.maxcontig:
+            raise ValueError(
+                "cylinder groups too small to hold metadata plus one cluster"
+            )
+
+    # Derived geometry ---------------------------------------------------
+
+    @property
+    def frags_per_block(self) -> int:
+        """Fragments per block (8 in the paper's configuration)."""
+        return self.block_size // self.frag_size
+
+    @property
+    def blocks_per_cg(self) -> int:
+        """Data+metadata blocks in each cylinder group."""
+        return (self.size_bytes // self.ncg) // self.block_size
+
+    @property
+    def nblocks(self) -> int:
+        """Total blocks in the file system (whole cylinder groups only)."""
+        return self.blocks_per_cg * self.ncg
+
+    @property
+    def nfrags(self) -> int:
+        """Total fragments in the file system."""
+        return self.nblocks * self.frags_per_block
+
+    @property
+    def actual_size_bytes(self) -> int:
+        """Capacity after rounding to whole cylinder groups."""
+        return self.nblocks * self.block_size
+
+    @property
+    def inodes_per_cg(self) -> int:
+        """Inodes allocated to each cylinder group's inode table."""
+        cg_bytes = self.blocks_per_cg * self.block_size
+        return max(16, cg_bytes // self.bytes_per_inode)
+
+    @property
+    def ninodes(self) -> int:
+        """Total inodes in the file system."""
+        return self.inodes_per_cg * self.ncg
+
+    @property
+    def inode_table_blocks_per_cg(self) -> int:
+        """Blocks of each group consumed by its inode table."""
+        return -(-self.inodes_per_cg * self.inode_size // self.block_size)
+
+    @property
+    def metadata_blocks_per_cg(self) -> int:
+        """Leading blocks of each group reserved for metadata.
+
+        One block for the superblock copy + cylinder-group descriptor,
+        then the inode table.  These are marked allocated at ``newfs``
+        time and double as the disk addresses of synchronous metadata
+        writes in the performance model.
+        """
+        return 1 + self.inode_table_blocks_per_cg
+
+    @property
+    def data_blocks_per_cg(self) -> int:
+        """Blocks per group available for file data."""
+        return self.blocks_per_cg - self.metadata_blocks_per_cg
+
+    @property
+    def data_frags(self) -> int:
+        """Total fragments available for file data."""
+        return self.data_blocks_per_cg * self.ncg * self.frags_per_block
+
+    @property
+    def max_cluster_bytes(self) -> int:
+        """Maximum cluster size in bytes (56 KB in Table 1)."""
+        return self.maxcontig * self.block_size
+
+    @property
+    def max_direct_bytes(self) -> int:
+        """Largest file representable without an indirect block (96 KB)."""
+        return self.ndaddr * self.block_size
+
+    @property
+    def maxbpg_blocks(self) -> int:
+        """Resolved ``maxbpg``: the explicit value or a quarter group,
+        rounded down to a whole number of clusters so the group switch
+        lands on a cluster-window boundary."""
+        if self.maxbpg is not None:
+            return max(self.maxcontig, self.maxbpg)
+        quarter = max(self.maxcontig, self.blocks_per_cg // 4)
+        return quarter - (quarter % self.maxcontig) or self.maxcontig
+
+    def layout_for_size(self, size: int) -> "tuple[int, int]":
+        """(full blocks, tail fragments) a file of ``size`` bytes uses.
+
+        A fragment tail exists only while the file fits within its direct
+        blocks and the tail does not fill a whole block — otherwise the
+        last chunk is a full block.
+        """
+        if size < 0:
+            raise ValueError(f"negative size {size}")
+        if size == 0:
+            return (0, 0)
+        chunks = -(-size // self.block_size)
+        tail_bytes = size - (chunks - 1) * self.block_size
+        tail_frags = -(-tail_bytes // self.frag_size)
+        if chunks <= self.ndaddr and tail_frags < self.frags_per_block:
+            return (chunks - 1, tail_frags)
+        return (chunks, 0)
+
+    # Address helpers ----------------------------------------------------
+
+    def cg_of_block(self, block: int) -> int:
+        """Cylinder group owning a global block address."""
+        if not 0 <= block < self.nblocks:
+            raise ValueError(f"block {block} out of range")
+        return block // self.blocks_per_cg
+
+    def cg_base_block(self, cg: int) -> int:
+        """First global block address of cylinder group ``cg``."""
+        if not 0 <= cg < self.ncg:
+            raise ValueError(f"cylinder group {cg} out of range")
+        return cg * self.blocks_per_cg
+
+    def cg_of_inode(self, ino: int) -> int:
+        """Cylinder group owning inode number ``ino``."""
+        if not 0 <= ino < self.ninodes:
+            raise ValueError(f"inode {ino} out of range")
+        return ino // self.inodes_per_cg
+
+    def inode_block(self, ino: int) -> int:
+        """Global block address holding inode ``ino`` (for sync writes)."""
+        cg = self.cg_of_inode(ino)
+        offset_in_table = (ino - cg * self.inodes_per_cg) * self.inode_size
+        return self.cg_base_block(cg) + 1 + offset_in_table // self.block_size
+
+
+def scaled_params(
+    size_bytes: int,
+    ncg: "int | None" = None,
+    **overrides: object,
+) -> FSParams:
+    """Build an ``FSParams`` scaled down from the paper's configuration.
+
+    Keeps block/fragment sizes and ``maxcontig`` at their Table 1 values
+    while shrinking the partition; the cylinder-group count scales so the
+    *blocks per group* stay close to the paper's (~2380), preserving the
+    allocator's search behaviour.
+    """
+    if ncg is None:
+        paper = FSParams()
+        target_bpg = paper.blocks_per_cg
+        base = FSParams(size_bytes=size_bytes, ncg=1)
+        ncg = max(2, round(base.nblocks / target_bpg))
+    return FSParams(size_bytes=size_bytes, ncg=ncg, **overrides)  # type: ignore[arg-type]

@@ -1,0 +1,25 @@
+"""A log-structured file system substrate (the paper's Section 6 target).
+
+The paper's future work names log-structured file systems as the next
+system to age: "More work also needs to be done to make the aging
+program work on file systems where the idle time between file operations
+can effect the behavior of the file system itself.  An example of this
+is the timing of cleaner execution on a log-structured file system
+[Rosenblum92]."  The companion study [Seltzer95] ("File System Logging
+Versus Clustering") is the broader comparison this enables.
+
+This package implements a Rosenblum-style LFS at the same abstraction
+level as :mod:`repro.ffs`: segments, an append-only log, a segment usage
+table, and a cleaner with selectable victim policy (greedy or
+cost-benefit).  Files expose the same ``blocks``/``size`` layout surface
+as FFS inodes, so the layout score, extent construction, and the disk
+model apply unchanged — which is exactly what makes a three-way
+FFS / FFS+realloc / LFS aging comparison meaningful
+(:mod:`repro.experiments.lfs_compare`).
+"""
+
+from repro.lfs.params import LFSParams
+from repro.lfs.filesystem import LogStructuredFS
+from repro.lfs.replay import LfsReplayer, age_lfs
+
+__all__ = ["LFSParams", "LogStructuredFS", "LfsReplayer", "age_lfs"]

@@ -1,0 +1,76 @@
+"""LFS geometry and cleaner parameters.
+
+Values follow Sprite LFS [Rosenblum92] and the 4.4BSD LFS [Seltzer93]:
+large segments (512 KB — 1 MB) amortise seeks; a small pool of clean
+segments is held in reserve; the cleaner runs when the pool dips below a
+threshold and cleans until a target is restored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import KB, MB
+
+
+@dataclass(frozen=True)
+class LFSParams:
+    """Parameters of a simulated log-structured file system."""
+
+    #: Total partition size in bytes (rounded down to whole segments).
+    size_bytes: int = 502 * MB
+    #: Block size; matches the FFS configuration for comparability.
+    block_size: int = 8 * KB
+    #: Segment size in bytes (the unit of log writes and cleaning).
+    segment_bytes: int = 512 * KB
+    #: Cleaner victim-selection policy: ``"greedy"`` (lowest utilization
+    #: first) or ``"cost-benefit"`` (Rosenblum's age-weighted formula).
+    cleaner_policy: str = "cost-benefit"
+    #: Run the cleaner when clean segments fall below this count.
+    clean_low_water: int = 4
+    #: Clean until this many clean segments are available again.
+    clean_high_water: int = 8
+    #: Fraction of segments permanently reserved so the cleaner always
+    #: has somewhere to write (the LFS equivalent of ``minfree``).
+    reserve_segments_fraction: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.segment_bytes % self.block_size:
+            raise ValueError("segment size must be a multiple of block size")
+        if self.nsegments < self.clean_high_water + 2:
+            raise ValueError("partition too small for the cleaner water marks")
+        if self.cleaner_policy not in ("greedy", "cost-benefit"):
+            raise ValueError(f"unknown cleaner policy {self.cleaner_policy!r}")
+        if self.clean_low_water >= self.clean_high_water:
+            raise ValueError("low water mark must be below high water mark")
+
+    @property
+    def blocks_per_segment(self) -> int:
+        """Blocks in one segment."""
+        return self.segment_bytes // self.block_size
+
+    @property
+    def nsegments(self) -> int:
+        """Whole segments in the partition."""
+        return self.size_bytes // self.segment_bytes
+
+    @property
+    def nblocks(self) -> int:
+        """Total data blocks."""
+        return self.nsegments * self.blocks_per_segment
+
+    @property
+    def reserve_segments(self) -> int:
+        """Segments held back from user data (cleaner head-room)."""
+        return max(2, int(self.nsegments * self.reserve_segments_fraction))
+
+    @property
+    def usable_blocks(self) -> int:
+        """Blocks available for live data before ENOSPC."""
+        return (self.nsegments - self.reserve_segments) * self.blocks_per_segment
+
+    def segment_of_block(self, block: int) -> int:
+        """Segment number owning a block address."""
+        if not 0 <= block < self.nblocks:
+            raise ValueError(f"block {block} out of range")
+        return block // self.blocks_per_segment

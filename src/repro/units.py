@@ -1,0 +1,63 @@
+"""Size units and conversion helpers shared across the simulator.
+
+Everything in the simulator is expressed in one of three granularities:
+
+* **bytes** — file sizes as seen by applications,
+* **fragments** — the FFS sub-block allocation unit (1 KB in the paper),
+* **blocks** — the FFS full allocation unit (8 KB in the paper).
+
+All conversions between those granularities live here so that rounding
+conventions (always round *up* when asking "how much space does this need")
+are applied consistently.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Sector size used throughout the disk model (Table 1).
+SECTOR_SIZE = 512
+
+
+def bytes_to_blocks(nbytes: int, block_size: int) -> int:
+    """Number of whole blocks needed to hold ``nbytes`` (rounds up)."""
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    return -(-nbytes // block_size)
+
+
+def bytes_to_frags(nbytes: int, frag_size: int) -> int:
+    """Number of fragments needed to hold ``nbytes`` (rounds up)."""
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    return -(-nbytes // frag_size)
+
+
+def blocks_to_bytes(nblocks: int, block_size: int) -> int:
+    """Byte capacity of ``nblocks`` full blocks."""
+    return nblocks * block_size
+
+
+def fmt_size(nbytes: float) -> str:
+    """Render a byte count in a human-friendly unit (e.g. ``"56 KB"``).
+
+    Used by the report generators so tables read like the paper's.
+    """
+    if nbytes >= GB:
+        value, unit = nbytes / GB, "GB"
+    elif nbytes >= MB:
+        value, unit = nbytes / MB, "MB"
+    elif nbytes >= KB:
+        value, unit = nbytes / KB, "KB"
+    else:
+        return f"{int(nbytes)} B"
+    if abs(value - round(value)) < 1e-9:
+        return f"{int(round(value))} {unit}"
+    return f"{value:.1f} {unit}"
+
+
+def fmt_throughput(bytes_per_second: float) -> str:
+    """Render a throughput in MB/sec with two decimals, as in Table 2."""
+    return f"{bytes_per_second / MB:.2f} MB/sec"

@@ -1,0 +1,95 @@
+"""Tests for the ablation experiments (tiny preset)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+PRESET = "tiny"
+
+
+class TestMaxcontigSweep:
+    def test_scores_for_each_value(self):
+        result = ablations.run_maxcontig_sweep(PRESET, values=(2, 7))
+        assert set(result.scores) == {2, 7}
+        assert all(0 < s <= 1 for s in result.scores.values())
+
+    def test_render(self):
+        result = ablations.run_maxcontig_sweep(PRESET, values=(2, 7))
+        assert "maxcontig" in result.render()
+
+
+class TestClusterFit:
+    def test_both_strategies_run(self):
+        result = ablations.run_cluster_fit_ablation(PRESET)
+        assert set(result.final_scores) == {"firstfit", "bestfit"}
+        assert set(result.clusterable) == {"firstfit", "bestfit"}
+
+    def test_render(self):
+        out = ablations.run_cluster_fit_ablation(PRESET).render()
+        assert "firstfit" in out and "bestfit" in out
+
+
+class TestTrigger:
+    def test_eager_never_hurts_two_chunk_files(self):
+        result = ablations.run_trigger_ablation(PRESET)
+        stock = result.two_chunk["realloc"]
+        eager = result.two_chunk["realloc-eager"]
+        if stock is not None and eager is not None:
+            assert eager >= stock - 0.05
+
+    def test_render(self):
+        assert "trigger" in ablations.run_trigger_ablation(PRESET).render()
+
+
+class TestIndirect:
+    def test_staying_home_shrinks_the_104kb_dip(self):
+        result = ablations.run_indirect_ablation(PRESET)
+        assert (
+            result.dip_ratio["stay home"]
+            >= result.dip_ratio["switch (stock)"] - 0.05
+        )
+
+    def test_dip_present_in_stock_configuration(self):
+        result = ablations.run_indirect_ablation(PRESET)
+        assert result.dip_ratio["switch (stock)"] < 1.0
+
+    def test_render(self):
+        out = ablations.run_indirect_ablation(PRESET).render()
+        assert "indirect" in out and "104" in out
+
+
+class TestFallback:
+    def test_ordering_of_policies(self):
+        """Run-aware fallback sits between plain FFS and realloc."""
+        result = ablations.run_fallback_ablation(PRESET)
+        scores = result.final_scores
+        assert scores["ffs-smart"] >= scores["ffs"] - 0.03
+        assert scores["realloc"] >= scores["ffs"] - 0.03
+
+    def test_render(self):
+        out = ablations.run_fallback_ablation(PRESET).render()
+        assert "ffs-smart" in out
+
+
+class TestProfilesExperiment:
+    def test_runs_and_renders(self):
+        from repro.experiments import profiles
+
+        result = profiles.run(PRESET)
+        assert set(result.outcomes) == {"home", "news", "database", "pc"}
+        out = result.render()
+        assert "news" in out
+
+    def test_realloc_never_clearly_worse(self):
+        from repro.experiments import profiles
+
+        result = profiles.run(PRESET)
+        for name, outcome in result.outcomes.items():
+            assert outcome.realloc_final >= outcome.ffs_final - 0.03, name
+
+    def test_news_is_the_hardest_workload(self):
+        from repro.experiments import profiles
+
+        result = profiles.run(PRESET)
+        ffs_scores = {n: o.ffs_final for n, o in result.outcomes.items()}
+        assert ffs_scores["news"] == min(ffs_scores.values())

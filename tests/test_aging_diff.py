@@ -1,0 +1,120 @@
+"""Unit tests for snapshot differencing (workload reconstruction)."""
+
+import pytest
+
+from repro.aging.diff import diff_snapshots, directory_activity, merge_days
+from repro.aging.snapshot import FileRecord, Snapshot
+from repro.aging.workload import CREATE, DELETE
+from repro.units import KB
+
+
+def snap(day, files):
+    return Snapshot(day=day, files={f.ino: f for f in files})
+
+
+def fr(ino, size=4 * KB, ctime=0.5, d="home"):
+    return FileRecord(ino=ino, size=size, ctime=ctime, directory=d)
+
+
+class TestCreates:
+    def test_initial_snapshot_files_become_creates(self):
+        days = diff_snapshots([snap(0, [fr(1, ctime=0.3), fr(2, ctime=0.6)])])
+        ops = days[0]
+        assert sorted(r.src_ino for r in ops) == [1, 2]
+        assert all(r.op == CREATE for r in ops)
+
+    def test_create_time_is_ctime(self):
+        days = diff_snapshots([snap(0, [fr(1, ctime=0.31)])])
+        assert days[0][0].time == pytest.approx(0.31)
+
+    def test_stale_ctime_clamped_into_day(self):
+        days = diff_snapshots([snap(0, []), snap(1, [fr(1, ctime=0.2)])])
+        (op,) = days[1]
+        assert 1.0 < op.time < 2.0
+
+    def test_size_carried(self):
+        days = diff_snapshots([snap(0, [fr(1, size=20 * KB)])])
+        assert days[0][0].size == 20 * KB
+
+
+class TestDeletes:
+    def test_missing_file_becomes_delete(self):
+        days = diff_snapshots(
+            [snap(0, [fr(1, ctime=0.5)]), snap(1, [fr(2, ctime=1.5)])]
+        )
+        ops = days[1]
+        deletes = [r for r in ops if r.op == DELETE]
+        assert len(deletes) == 1
+        assert deletes[0].src_ino == 1
+
+    def test_delete_time_within_activity_span(self):
+        days = diff_snapshots(
+            [
+                snap(0, [fr(1, ctime=0.5)]),
+                snap(1, [fr(2, ctime=1.3), fr(3, ctime=1.7)]),
+            ]
+        )
+        delete = next(r for r in days[1] if r.op == DELETE)
+        assert 1.3 <= delete.time <= 1.7
+
+    def test_delete_times_deterministic_per_seed(self):
+        snaps = [snap(0, [fr(1, ctime=0.5)]), snap(1, [])]
+        t1 = diff_snapshots(snaps, seed=5)[1][0].time
+        t2 = diff_snapshots(snaps, seed=5)[1][0].time
+        t3 = diff_snapshots(snaps, seed=6)[1][0].time
+        assert t1 == t2
+        assert t1 != t3
+
+
+class TestModifies:
+    def test_ctime_change_becomes_delete_plus_create(self):
+        days = diff_snapshots(
+            [
+                snap(0, [fr(1, ctime=0.5, size=10 * KB)]),
+                snap(1, [fr(1, ctime=1.5, size=12 * KB)]),
+            ]
+        )
+        ops = days[1]
+        assert [r.op for r in sorted(ops, key=lambda r: r.time)] == [
+            DELETE,
+            CREATE,
+        ]
+        create = next(r for r in ops if r.op == CREATE)
+        assert create.size == 12 * KB
+
+    def test_unchanged_file_produces_no_ops(self):
+        record = fr(1, ctime=0.5)
+        days = diff_snapshots([snap(0, [record]), snap(1, [record])])
+        assert days[1] == []
+
+
+class TestMergeDays:
+    def test_merge_validates(self):
+        days = diff_snapshots(
+            [snap(0, [fr(1, ctime=0.5)]), snap(1, [fr(1, ctime=1.5)])]
+        )
+        workload = merge_days(days)
+        assert len(workload) == 3  # create, delete, re-create
+
+
+class TestDirectoryActivity:
+    def test_ranked_by_change_count(self):
+        days = diff_snapshots(
+            [
+                snap(
+                    0,
+                    [
+                        fr(1, d="busy", ctime=0.2),
+                        fr(2, d="busy", ctime=0.4),
+                        fr(3, d="quiet", ctime=0.6),
+                    ],
+                )
+            ]
+        )
+        ranked = directory_activity(days[0])
+        assert ranked[0][0] == "busy"
+        assert ranked[0][1] == 2
+        assert ranked[0][2] == pytest.approx(0.3)
+
+    def test_empty_day(self):
+        assert directory_activity([]) == []

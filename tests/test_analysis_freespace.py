@@ -1,0 +1,51 @@
+"""Unit tests for free-space fragmentation statistics."""
+
+import pytest
+
+from repro.analysis.freespace import (
+    free_cluster_histogram,
+    free_space_stats,
+    largest_run_per_cg,
+)
+from repro.ffs.filesystem import FileSystem
+from repro.units import KB
+
+
+class TestFreshFileSystem:
+    def test_one_big_run_per_group(self, tiny_params):
+        fs = FileSystem(tiny_params)
+        histogram = free_cluster_histogram(fs)
+        expected_len = tiny_params.blocks_per_cg - tiny_params.metadata_blocks_per_cg
+        assert histogram == {expected_len: tiny_params.ncg}
+
+    def test_stats_on_fresh_fs(self, tiny_params):
+        fs = FileSystem(tiny_params)
+        stats = free_space_stats(fs)
+        assert stats.n_runs == tiny_params.ncg
+        assert stats.clusterable_fraction == 1.0
+        assert stats.largest_run == (
+            tiny_params.blocks_per_cg - tiny_params.metadata_blocks_per_cg
+        )
+
+    def test_largest_run_per_cg_length(self, tiny_params):
+        fs = FileSystem(tiny_params)
+        assert len(largest_run_per_cg(fs)) == tiny_params.ncg
+
+
+class TestAgedFileSystem:
+    def test_aging_fragments_free_space(self, aged_ffs, tiny_params):
+        stats = free_space_stats(aged_ffs.fs)
+        assert stats.n_runs > tiny_params.ncg
+        assert stats.clusterable_fraction < 1.0
+        assert 0 < stats.mean_run < stats.largest_run
+
+    def test_histogram_totals_match(self, aged_ffs):
+        stats = free_space_stats(aged_ffs.fs)
+        histogram = free_cluster_histogram(aged_ffs.fs)
+        assert sum(histogram.values()) == stats.n_runs
+        assert sum(k * v for k, v in histogram.items()) == stats.free_blocks
+
+    def test_free_blocks_consistent_with_superblock(self, aged_ffs):
+        stats = free_space_stats(aged_ffs.fs)
+        assert stats.free_blocks == aged_ffs.fs.sb.free_blocks
+        assert stats.free_frags == aged_ffs.fs.sb.free_frags

@@ -1,0 +1,125 @@
+"""Unit tests for layout-score computation (Section 3.3 definitions)."""
+
+import pytest
+
+from repro.analysis.layout import (
+    aggregate_layout_score,
+    default_size_bins,
+    file_layout_score,
+    layout_by_block_count,
+    layout_by_size_bins,
+    optimal_pairs,
+    score_file_set,
+)
+from repro.ffs.filesystem import FileSystem
+from repro.ffs.inode import Inode
+from repro.units import KB, MB
+
+
+def inode_with_blocks(blocks, size=None, tail=None):
+    n_chunks = len(blocks) + (1 if tail else 0)
+    return Inode(
+        ino=1,
+        blocks=list(blocks),
+        tail=tail,
+        size=size if size is not None else n_chunks * 8 * KB,
+    )
+
+
+class TestOptimalPairs:
+    def test_empty(self):
+        assert optimal_pairs([]) == (0, 0)
+
+    def test_single_block_not_countable(self):
+        assert optimal_pairs([5]) == (0, 0)
+
+    def test_perfect_run(self):
+        assert optimal_pairs([5, 6, 7]) == (2, 2)
+
+    def test_fully_fragmented(self):
+        assert optimal_pairs([5, 9, 2]) == (0, 2)
+
+    def test_mixed(self):
+        assert optimal_pairs([5, 6, 9, 10, 20]) == (2, 4)
+
+
+class TestFileLayoutScore:
+    def test_undefined_for_one_block(self):
+        assert file_layout_score(inode_with_blocks([5])) is None
+
+    def test_undefined_for_empty(self):
+        assert file_layout_score(inode_with_blocks([])) is None
+
+    def test_perfect_file(self):
+        assert file_layout_score(inode_with_blocks([5, 6, 7])) == 1.0
+
+    def test_worst_file(self):
+        assert file_layout_score(inode_with_blocks([5, 9])) == 0.0
+
+    def test_tail_counts_as_chunk(self):
+        inode = inode_with_blocks([5], tail=(6, 0, 2), size=10 * KB)
+        assert file_layout_score(inode) == 1.0
+        inode = inode_with_blocks([5], tail=(9, 0, 2), size=10 * KB)
+        assert file_layout_score(inode) == 0.0
+
+
+class TestScoreFileSet:
+    def test_none_when_nothing_scorable(self):
+        assert score_file_set([inode_with_blocks([5])]) is None
+
+    def test_weighted_by_countable_blocks(self):
+        # 3-chunk perfect file (2 pairs) + 2-chunk broken file (1 pair).
+        perfect = inode_with_blocks([5, 6, 7])
+        broken = inode_with_blocks([20, 30])
+        assert score_file_set([perfect, broken]) == pytest.approx(2 / 3)
+
+    def test_empty_set(self):
+        assert score_file_set([]) is None
+
+
+class TestAggregate:
+    def test_empty_fs_scores_one(self, tiny_params):
+        assert aggregate_layout_score(FileSystem(tiny_params)) == 1.0
+
+    def test_fresh_files_score_high(self, fresh_fs):
+        d = fresh_fs.make_directory("d")
+        for _ in range(10):
+            fresh_fs.create_file(d, 56 * KB)
+        assert aggregate_layout_score(fresh_fs) == pytest.approx(1.0)
+
+
+class TestSizeBins:
+    def test_default_bins_powers_of_two(self):
+        bins = default_size_bins()
+        assert bins[0] == 16 * KB
+        assert bins[-1] == 32 * MB
+        assert all(b == bins[0] * 2**i for i, b in enumerate(bins))
+
+    def test_files_assigned_to_nearest_bin(self):
+        small = inode_with_blocks([5, 9], size=17 * KB)
+        result = layout_by_size_bins([small], bins=[16 * KB, 64 * KB])
+        assert result[16 * KB] == 0.0
+        assert result[64 * KB] is None
+
+    def test_log_space_assignment(self):
+        # 45 KB is nearer 64 KB than 16 KB in log2 space (5.5 vs 1.5 ratio).
+        f = inode_with_blocks([5, 6], size=45 * KB)
+        result = layout_by_size_bins([f], bins=[16 * KB, 64 * KB])
+        assert result[64 * KB] == 1.0
+
+    def test_zero_size_files_skipped(self):
+        f = inode_with_blocks([], size=0)
+        result = layout_by_size_bins([f], bins=[16 * KB])
+        assert result[16 * KB] is None
+
+
+class TestByBlockCount:
+    def test_grouping(self):
+        files = [
+            inode_with_blocks([1, 2]),          # 2 chunks, perfect
+            inode_with_blocks([10, 20]),        # 2 chunks, broken
+            inode_with_blocks([30, 31, 32]),    # 3 chunks, perfect
+        ]
+        result = layout_by_block_count(files)
+        assert result[2] == pytest.approx(0.5)
+        assert result[3] == 1.0

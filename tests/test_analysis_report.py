@@ -1,0 +1,67 @@
+"""Unit tests for text table/chart rendering."""
+
+from repro.analysis.report import render_chart, render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows_present(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "333" in out
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [["x"], ["longer"]])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[1])  # header matches rule width
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[0.56789]])
+        assert "0.568" in out
+
+
+class TestRenderChart:
+    def test_contains_legend_and_axes(self):
+        out = render_chart(
+            [("up", [1, 2, 3], [0.1, 0.2, 0.3])],
+            title="Chart",
+            xlabel="x",
+        )
+        assert "Chart" in out
+        assert "legend" in out
+        assert "* = up" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = render_chart(
+            [
+                ("one", [1, 2], [0.1, 0.2]),
+                ("two", [1, 2], [0.3, 0.4]),
+            ]
+        )
+        assert "* = one" in out
+        assert "o = two" in out
+
+    def test_none_values_skipped(self):
+        out = render_chart([("s", [1, 2], [None, 0.5])])
+        assert out  # renders without error
+
+    def test_empty_series(self):
+        out = render_chart([("s", [], [])], title="Empty")
+        assert "(no data)" in out
+
+    def test_log_x_labels(self):
+        out = render_chart(
+            [("s", [16384, 65536], [0.5, 0.6])], log_x=True
+        )
+        assert "16384" in out
+
+    def test_y_range_override(self):
+        out = render_chart(
+            [("s", [1, 2], [0.5, 0.6])], y_range=(0.0, 1.0)
+        )
+        assert "1.00" in out and "0.00" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = render_chart([("s", [1, 2, 3], [0.5, 0.5, 0.5])])
+        assert out

@@ -1,0 +1,67 @@
+"""Unit tests for daily timelines and the paper's summary numbers."""
+
+import pytest
+
+from repro.analysis.timeline import DailySample, Timeline
+
+
+def sample(day, score, util=0.5):
+    return DailySample(
+        day=day, layout_score=score, utilization=util, live_files=10,
+        ops_applied=day * 100,
+    )
+
+
+class TestTimeline:
+    def test_add_and_accessors(self):
+        tl = Timeline("x")
+        tl.add(sample(0, 0.95))
+        tl.add(sample(1, 0.90))
+        assert tl.days() == [0, 1]
+        assert tl.scores() == [0.95, 0.90]
+        assert tl.first_day_score() == 0.95
+        assert tl.final_score() == 0.90
+
+    def test_out_of_order_rejected(self):
+        tl = Timeline("x")
+        tl.add(sample(3, 0.9))
+        with pytest.raises(ValueError):
+            tl.add(sample(1, 0.8))
+
+    def test_score_on(self):
+        tl = Timeline("x")
+        tl.add(sample(0, 0.95))
+        assert tl.score_on(0) == 0.95
+        assert tl.score_on(7) is None
+
+    def test_empty_timeline_errors(self):
+        tl = Timeline("x")
+        with pytest.raises(ValueError):
+            tl.final_score()
+        with pytest.raises(ValueError):
+            tl.first_day_score()
+
+
+class TestImprovement:
+    def test_papers_headline_number(self):
+        """0.899 vs 0.766 must compute to the paper's 56.8%."""
+        realloc = Timeline("realloc")
+        realloc.add(sample(0, 0.899))
+        ffs = Timeline("ffs")
+        ffs.add(sample(0, 0.766))
+        improvement = realloc.fragmentation_improvement_over(ffs)
+        assert improvement == pytest.approx(0.568, abs=0.002)
+
+    def test_no_fragmentation_baseline(self):
+        a = Timeline("a")
+        a.add(sample(0, 0.9))
+        b = Timeline("b")
+        b.add(sample(0, 1.0))
+        assert a.fragmentation_improvement_over(b) == 0.0
+
+    def test_identical_timelines(self):
+        a = Timeline("a")
+        a.add(sample(0, 0.8))
+        b = Timeline("b")
+        b.add(sample(0, 0.8))
+        assert a.fragmentation_improvement_over(b) == pytest.approx(0.0)

@@ -1,0 +1,100 @@
+"""Tests for the sequential I/O benchmark (Section 5.1)."""
+
+import pytest
+
+from repro.bench.sequential import SequentialIOBenchmark
+from repro.bench.timing import BenchmarkRunner
+from repro.errors import InvalidRequestError
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def bench(aged_ffs_copy):
+    return SequentialIOBenchmark(
+        aged_ffs_copy, total_bytes=1 * MB, runner=BenchmarkRunner(2)
+    )
+
+
+class TestMechanics:
+    def test_file_count(self, bench):
+        result = bench.run(64 * KB)
+        assert result.n_files == 16
+
+    def test_files_split_into_directories(self, aged_ffs_copy):
+        bench = SequentialIOBenchmark(
+            aged_ffs_copy, total_bytes=2 * MB, files_per_dir=10,
+            runner=BenchmarkRunner(1), dir_prefix="split",
+        )
+        bench.run(32 * KB)  # 64 files -> 7 directories
+        made = [n for n in aged_ffs_copy.directories if n.startswith("split")]
+        assert len(made) == 7
+
+    def test_bad_size_rejected(self, bench):
+        with pytest.raises(InvalidRequestError):
+            bench.run(0)
+
+    def test_throughputs_positive(self, bench):
+        result = bench.run(64 * KB)
+        assert result.read_throughput.mean > 0
+        assert result.write_throughput.mean > 0
+
+    def test_layout_score_none_for_single_chunk_files(self, aged_ffs_copy):
+        bench = SequentialIOBenchmark(
+            aged_ffs_copy, total_bytes=64 * KB, runner=BenchmarkRunner(1),
+            dir_prefix="tinyfiles",
+        )
+        result = bench.run(4 * KB)
+        assert result.layout_score is None
+
+
+class TestPaperProperties:
+    def test_low_run_to_run_variation(self, aged_ffs_copy):
+        """The paper reports std dev < 1.5% of the mean over ten runs."""
+        bench = SequentialIOBenchmark(
+            aged_ffs_copy, total_bytes=1 * MB, runner=BenchmarkRunner(10)
+        )
+        result = bench.run(64 * KB)
+        assert result.read_throughput.relative_stddev < 0.05
+        assert result.write_throughput.relative_stddev < 0.05
+
+    def test_reads_faster_than_creates_for_small_files(self, bench):
+        """Synchronous metadata writes throttle small-file creates."""
+        result = bench.run(16 * KB)
+        assert result.read_throughput.mean > 1.5 * result.write_throughput.mean
+
+    def test_indirect_block_dip(self, aged_ffs_copy, tiny_params):
+        import copy
+
+        results = {}
+        for size in (96 * KB, 104 * KB):
+            fs = copy.deepcopy(aged_ffs_copy)
+            bench = SequentialIOBenchmark(
+                fs, total_bytes=1 * MB, runner=BenchmarkRunner(2)
+            )
+            results[size] = bench.run(size)
+        assert (
+            results[104 * KB].read_throughput.mean
+            < results[96 * KB].read_throughput.mean
+        )
+
+    def test_realloc_layout_better_on_aged_fs(
+        self, aged_ffs_copy, aged_realloc_copy
+    ):
+        ffs_bench = SequentialIOBenchmark(
+            aged_ffs_copy, total_bytes=1 * MB, runner=BenchmarkRunner(1)
+        )
+        realloc_bench = SequentialIOBenchmark(
+            aged_realloc_copy, total_bytes=1 * MB, runner=BenchmarkRunner(1)
+        )
+        ffs_result = ffs_bench.run(56 * KB)
+        realloc_result = realloc_bench.run(56 * KB)
+        assert realloc_result.layout_score >= ffs_result.layout_score
+
+    def test_realloc_perfect_at_cluster_size_on_aged_fs(
+        self, aged_realloc_copy
+    ):
+        bench = SequentialIOBenchmark(
+            aged_realloc_copy, total_bytes=1 * MB, runner=BenchmarkRunner(1)
+        )
+        result = bench.run(56 * KB)
+        assert result.layout_score >= 0.9

@@ -1,0 +1,44 @@
+"""Unit tests for the benchmark runner and measurement statistics."""
+
+import pytest
+
+from repro.bench.timing import BenchmarkRunner, Measurement
+
+
+class TestMeasurement:
+    def test_mean(self):
+        m = Measurement([1.0, 2.0, 3.0])
+        assert m.mean == 2.0
+
+    def test_stddev(self):
+        m = Measurement([2.0, 2.0, 2.0])
+        assert m.stddev == 0.0
+
+    def test_relative_stddev(self):
+        m = Measurement([90.0, 110.0])
+        assert m.relative_stddev == pytest.approx(0.1)
+
+    def test_relative_stddev_zero_mean(self):
+        assert Measurement([0.0, 0.0]).relative_stddev == 0.0
+
+
+class TestBenchmarkRunner:
+    def test_angles_evenly_spaced(self):
+        runner = BenchmarkRunner(4)
+        assert runner.angles() == [0.0, 0.25, 0.5, 0.75]
+
+    def test_measure_passes_angles(self):
+        runner = BenchmarkRunner(3)
+        seen = []
+
+        def timed(angle):
+            seen.append(angle)
+            return 100.0 + angle
+
+        m = runner.measure(timed)
+        assert seen == runner.angles()
+        assert len(m.values) == 3
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkRunner(0)

@@ -1,0 +1,112 @@
+"""Tests for the ``repro-ffs`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParsing:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "repro-ffs" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["age", "--preset", "huge"])
+
+
+class TestCommands:
+    def test_age_single_policy(self, capsys):
+        assert main(["age", "--preset", "tiny", "--policy", "ffs"]) == 0
+        out = capsys.readouterr().out
+        assert "final layout score" in out
+        assert "ffs" in out
+
+    def test_age_both_policies(self, capsys):
+        assert main(["age", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "realloc" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1", "--preset", "tiny"]) == 0
+        assert "Benchmark Configuration" in capsys.readouterr().out
+
+    def test_experiment_fig2(self, capsys):
+        assert main(["experiment", "fig2", "--preset", "tiny"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_workload_dump(self, tmp_path, capsys):
+        out_file = tmp_path / "workload.txt"
+        assert main(["workload", str(out_file), "--preset", "tiny"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        lines = out_file.read_text().splitlines()
+        assert lines[0].startswith("#")
+        assert len(lines) > 100
+
+    def test_workload_roundtrips(self, tmp_path):
+        from repro.aging.workload import Workload
+
+        out_file = tmp_path / "workload.txt"
+        main(["workload", str(out_file), "--preset", "tiny"])
+        with open(out_file) as fp:
+            loaded = Workload.load(fp)
+        loaded.validate()
+
+    def test_freespace(self, capsys):
+        assert main(["freespace", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "free blocks" in out
+        assert "clusterable" in out
+
+
+class TestStudyCommands:
+    def test_ablation_trigger(self, capsys):
+        assert main(["ablation", "trigger", "--preset", "tiny"]) == 0
+        assert "two-chunk" in capsys.readouterr().out
+
+    def test_profiles(self, capsys):
+        assert main(["profiles", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "news" in out and "database" in out
+
+    def test_ablation_unknown_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["ablation", "everything", "--preset", "tiny"])
+
+
+class TestWorkloadReplayAndCsv:
+    def test_age_from_workload_file(self, tmp_path, capsys):
+        wl = tmp_path / "w.txt"
+        main(["workload", str(wl), "--preset", "tiny"])
+        capsys.readouterr()
+        assert main(["age", "--preset", "tiny", "--policy", "ffs",
+                     "--workload", str(wl)]) == 0
+        assert "final layout score" in capsys.readouterr().out
+
+    def test_experiment_csv_export(self, tmp_path, capsys):
+        out_csv = tmp_path / "fig2.csv"
+        assert main(["experiment", "fig2", "--preset", "tiny",
+                     "--csv", str(out_csv)]) == 0
+        lines = out_csv.read_text().splitlines()
+        assert lines[0] == "day,ffs,realloc"
+        assert len(lines) > 10
+
+    def test_csv_ignored_for_tables(self, tmp_path, capsys):
+        out_csv = tmp_path / "t1.csv"
+        assert main(["experiment", "table1", "--preset", "tiny",
+                     "--csv", str(out_csv)]) == 0
+        assert "no CSV series" in capsys.readouterr().out
+        assert not out_csv.exists()
+
+
+class TestLfsCommand:
+    def test_experiment_lfs(self, capsys):
+        assert main(["experiment", "lfs", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "LFS" in out and "write amplification" in out

@@ -1,0 +1,118 @@
+"""Unit tests for the disk geometry model (Table 1's drive)."""
+
+import pytest
+
+from repro.disk.geometry import SEAGATE_ST32430N, DiskGeometry
+from repro.units import KB, MB
+
+
+class TestDerivedQuantities:
+    def setup_method(self):
+        self.geo = DiskGeometry()
+
+    def test_rotation_time_at_5411_rpm(self):
+        assert self.geo.rotation_ms == pytest.approx(11.088, abs=0.01)
+
+    def test_track_capacity(self):
+        assert self.geo.track_bytes == 116 * 512
+
+    def test_cylinder_capacity(self):
+        assert self.geo.cylinder_bytes == 116 * 512 * 9
+
+    def test_total_capacity_is_roughly_2gb(self):
+        assert 1.9 * 1024 * MB < self.geo.capacity_bytes < 2.2 * 1024 * MB
+
+    def test_media_rate_near_5mb_per_sec(self):
+        rate_mb_s = self.geo.media_rate_bytes_per_ms * 1000 / MB
+        assert 4.5 < rate_mb_s < 6.0
+
+    def test_full_stroke_exceeds_average(self):
+        assert self.geo.full_stroke_seek_ms > self.geo.seek_avg_ms
+
+
+class TestAddressMapping:
+    def setup_method(self):
+        self.geo = DiskGeometry()
+
+    def test_sector_of_byte(self):
+        assert self.geo.sector_of_byte(0) == 0
+        assert self.geo.sector_of_byte(511) == 0
+        assert self.geo.sector_of_byte(512) == 1
+
+    def test_cylinder_of_first_sector(self):
+        assert self.geo.cylinder_of_sector(0) == 0
+
+    def test_cylinder_advances_after_full_cylinder(self):
+        sectors_per_cyl = self.geo.sectors_per_track * self.geo.heads
+        assert self.geo.cylinder_of_sector(sectors_per_cyl) == 1
+
+    def test_track_of_sector(self):
+        assert self.geo.track_of_sector(self.geo.sectors_per_track) == 1
+
+    def test_rotational_position_range(self):
+        for sector in (0, 57, 115, 116, 1000):
+            pos = self.geo.rotational_position(sector)
+            assert 0.0 <= pos < 1.0
+
+    def test_rotational_position_is_track_skewed(self):
+        """Sector 0 of track 1 is offset by the head-switch time so a
+        cross-track transfer continues at media rate."""
+        geo = self.geo
+        expected_skew = geo.head_switch_ms / geo.rotation_ms
+        delta = (
+            geo.rotational_position(geo.sectors_per_track)
+            - geo.rotational_position(0)
+        ) % 1.0
+        assert delta == pytest.approx(expected_skew, abs=1e-9)
+
+    def test_cylinder_skew_uses_track_to_track_seek(self):
+        geo = self.geo
+        sectors_per_cyl = geo.sectors_per_track * geo.heads
+        expected = (
+            (geo.heads - 1) * geo.head_switch_ms + geo.seek_track_to_track_ms
+        ) / geo.rotation_ms
+        delta = (
+            geo.rotational_position(sectors_per_cyl)
+            - geo.rotational_position(0)
+        ) % 1.0
+        assert delta == pytest.approx(expected % 1.0, abs=1e-9)
+
+
+class TestSeekCurve:
+    def setup_method(self):
+        self.geo = DiskGeometry()
+
+    def test_zero_distance_is_free(self):
+        assert self.geo.seek_time_ms(100, 100) == 0.0
+
+    def test_single_cylinder_is_track_to_track(self):
+        assert self.geo.seek_time_ms(5, 6) == self.geo.seek_track_to_track_ms
+
+    def test_symmetric(self):
+        assert self.geo.seek_time_ms(10, 500) == self.geo.seek_time_ms(500, 10)
+
+    def test_monotonic_in_distance(self):
+        times = [self.geo.seek_time_ms(0, d) for d in (1, 10, 100, 1000, 3000)]
+        assert times == sorted(times)
+
+    def test_third_stroke_is_average_seek(self):
+        third = self.geo.cylinders // 3
+        assert self.geo.seek_time_ms(0, third) == pytest.approx(
+            self.geo.seek_avg_ms, rel=0.02
+        )
+
+    def test_full_stroke_near_double_average(self):
+        full = self.geo.seek_time_ms(0, self.geo.cylinders - 1)
+        assert full == pytest.approx(self.geo.full_stroke_seek_ms, rel=0.02)
+
+
+class TestNamedConfiguration:
+    def test_table1_values(self):
+        geo = SEAGATE_ST32430N
+        assert geo.rpm == 5411
+        assert geo.cylinders == 3992
+        assert geo.heads == 9
+        assert geo.sectors_per_track == 116
+        assert geo.track_buffer_bytes == 512 * KB
+        assert geo.seek_avg_ms == 11.0
+        assert geo.max_transfer_bytes == 64 * KB

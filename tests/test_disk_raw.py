@@ -1,0 +1,32 @@
+"""Unit tests for raw-disk throughput reference lines (Figure 4)."""
+
+import pytest
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.raw import raw_read_throughput, raw_write_throughput
+from repro.units import MB
+
+
+class TestRawThroughput:
+    def test_raw_read_near_media_rate(self):
+        geo = DiskGeometry()
+        tp = raw_read_throughput(4 * MB, geo)
+        media = geo.media_rate_bytes_per_ms * 1000
+        assert 0.7 * media < tp <= media
+
+    def test_raw_write_well_below_raw_read(self):
+        """Raw writes lose a rotation per transfer (Section 5.1)."""
+        read = raw_read_throughput(4 * MB)
+        write = raw_write_throughput(4 * MB)
+        assert write < 0.75 * read
+
+    def test_raw_write_above_1mb_per_sec(self):
+        assert raw_write_throughput(4 * MB) > 1 * MB
+
+    def test_deterministic(self):
+        assert raw_read_throughput(2 * MB) == raw_read_throughput(2 * MB)
+
+    def test_initial_angle_changes_little_for_long_transfers(self):
+        a = raw_read_throughput(4 * MB, initial_angle=0.0)
+        b = raw_read_throughput(4 * MB, initial_angle=0.5)
+        assert a == pytest.approx(b, rel=0.05)

@@ -1,0 +1,103 @@
+"""Unit tests for the track-buffer (read-ahead) model."""
+
+import pytest
+
+from repro.disk.trackbuffer import TrackBuffer
+from repro.units import KB
+
+
+def make_buffer(capacity=512 * KB, rate=5.0 * KB):
+    return TrackBuffer(capacity, rate)
+
+
+class TestBasicState:
+    def test_starts_invalid(self):
+        assert not make_buffer().valid
+
+    def test_note_read_makes_valid(self):
+        buf = make_buffer()
+        buf.note_read(0, 8 * KB)
+        assert buf.valid
+
+    def test_invalidate(self):
+        buf = make_buffer()
+        buf.note_read(0, 8 * KB)
+        buf.invalidate()
+        assert not buf.valid
+        assert buf.hit_bytes(0, KB) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TrackBuffer(-1, 1.0)
+
+
+class TestHits:
+    def test_hit_within_read_range(self):
+        buf = make_buffer()
+        buf.note_read(0, 8 * KB)
+        assert buf.hit_bytes(0, 8 * KB) == 8 * KB
+
+    def test_partial_prefix_hit(self):
+        buf = make_buffer()
+        buf.note_read(0, 8 * KB)
+        assert buf.hit_bytes(4 * KB, 8 * KB) == 4 * KB
+
+    def test_miss_before_buffer(self):
+        buf = make_buffer()
+        buf.note_read(8 * KB, 8 * KB)
+        assert buf.hit_bytes(0, KB) == 0
+
+    def test_miss_after_frontier(self):
+        buf = make_buffer()
+        buf.note_read(0, 8 * KB)
+        assert buf.hit_bytes(16 * KB, KB) == 0
+
+
+class TestPrefetch:
+    def test_prefetch_extends_frontier(self):
+        buf = make_buffer(rate=1 * KB)  # 1 KB per ms
+        buf.note_read(0, 8 * KB)
+        buf.prefetch(4.0)
+        assert buf.hit_bytes(8 * KB, 4 * KB) == 4 * KB
+
+    def test_prefetch_without_data_is_noop(self):
+        buf = make_buffer()
+        buf.prefetch(100.0)
+        assert not buf.valid
+
+    def test_capacity_evicts_old_data(self):
+        buf = TrackBuffer(4 * KB, 1 * KB)
+        buf.note_read(0, 4 * KB)
+        buf.prefetch(4.0)  # frontier now at 8 KB; start evicted to 4 KB
+        assert buf.hit_bytes(0, KB) == 0
+        assert buf.hit_bytes(4 * KB, KB) == KB
+
+
+class TestSequentialDetection:
+    def test_continuation_is_sequential(self):
+        buf = make_buffer()
+        buf.note_read(0, 8 * KB)
+        assert buf.is_sequential(8 * KB)
+
+    def test_inside_buffer_is_sequential(self):
+        buf = make_buffer()
+        buf.note_read(0, 8 * KB)
+        assert buf.is_sequential(4 * KB)
+
+    def test_far_ahead_is_not_sequential(self):
+        buf = make_buffer()
+        buf.note_read(0, 8 * KB)
+        assert not buf.is_sequential(100 * KB)
+
+    def test_sequential_reads_extend_stream(self):
+        buf = make_buffer()
+        buf.note_read(0, 8 * KB)
+        buf.note_read(8 * KB, 8 * KB)
+        assert buf.hit_bytes(0, 16 * KB) == 16 * KB
+
+    def test_discontiguous_read_restarts_stream(self):
+        buf = make_buffer()
+        buf.note_read(0, 8 * KB)
+        buf.note_read(100 * KB, 8 * KB)
+        assert buf.hit_bytes(0, KB) == 0
+        assert buf.hit_bytes(100 * KB, 8 * KB) == 8 * KB

@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConsistencyError,
+    FileNotFoundSimError,
+    InvalidRequestError,
+    OutOfSpaceError,
+    SimulationError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_simulation_error(self):
+        for exc_type in (
+            OutOfSpaceError,
+            FileNotFoundSimError,
+            InvalidRequestError,
+            ConsistencyError,
+            WorkloadError,
+        ):
+            assert issubclass(exc_type, SimulationError)
+
+    def test_out_of_space_carries_group(self):
+        exc = OutOfSpaceError("full", cg=7)
+        assert exc.cg == 7
+
+    def test_out_of_space_group_optional(self):
+        assert OutOfSpaceError("full").cg is None
+
+    def test_catchable_as_simulation_error(self):
+        with pytest.raises(SimulationError):
+            raise WorkloadError("bad record")

@@ -1,0 +1,42 @@
+"""Smoke tests: the example scripts run and say what they should.
+
+Only the quick examples run in-process here; the slower ones are
+exercised by their underlying experiment tests.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_runs_and_compares_policies(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "[ffs]" in out and "[realloc]" in out
+        assert "perfectly contiguous" in out
+
+
+class TestAllExamplesExistAndParse:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "aging_study.py",
+            "benchmark_aged_fs.py",
+            "fragmentation_explorer.py",
+            "logging_vs_clustering.py",
+        ],
+    )
+    def test_compiles(self, name):
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")
+        assert '"""' in source  # every example carries a doc header

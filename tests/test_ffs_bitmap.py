@@ -1,0 +1,129 @@
+"""Unit tests for the per-group fragment bitmap."""
+
+import pytest
+
+from repro.ffs.bitmap import FragBitmap
+
+
+def make(nblocks=16, fpb=8):
+    return FragBitmap(nblocks, fpb)
+
+
+class TestConstruction:
+    def test_starts_all_free(self):
+        b = make()
+        assert b.free_frags == 16 * 8
+        assert all(b.block_is_free(i) for i in range(16))
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            FragBitmap(0, 8)
+
+    def test_rejects_bad_fpb(self):
+        with pytest.raises(ValueError):
+            FragBitmap(4, 9)
+
+
+class TestAllocFree:
+    def test_alloc_run_marks_frags(self):
+        b = make()
+        b.alloc_run(2, 1, 3)
+        assert not b.is_frag_free(2, 1)
+        assert not b.is_frag_free(2, 3)
+        assert b.is_frag_free(2, 0)
+        assert b.free_in_block(2) == 5
+
+    def test_free_run_restores(self):
+        b = make()
+        b.alloc_run(2, 1, 3)
+        b.free_run(2, 1, 3)
+        assert b.block_is_free(2)
+        assert b.free_frags == 16 * 8
+
+    def test_double_alloc_rejected(self):
+        b = make()
+        b.alloc_run(0, 0, 4)
+        with pytest.raises(ValueError):
+            b.alloc_run(0, 3, 2)
+
+    def test_double_free_rejected(self):
+        b = make()
+        with pytest.raises(ValueError):
+            b.free_run(0, 0, 1)
+
+    def test_run_crossing_block_boundary_rejected(self):
+        b = make()
+        with pytest.raises(ValueError):
+            b.alloc_run(0, 6, 4)
+
+    def test_block_full_after_eight_frags(self):
+        b = make()
+        b.alloc_run(3, 0, 8)
+        assert b.block_is_full(3)
+
+
+class TestFragRuns:
+    def test_whole_free_block_single_run(self):
+        b = make()
+        assert b.frag_runs(5) == [(0, 8)]
+
+    def test_runs_after_middle_allocation(self):
+        b = make()
+        b.alloc_run(5, 3, 2)
+        assert b.frag_runs(5) == [(0, 3), (5, 3)]
+
+    def test_full_block_no_runs(self):
+        b = make()
+        b.alloc_run(5, 0, 8)
+        assert b.frag_runs(5) == []
+
+    def test_find_run_in_block(self):
+        b = make()
+        b.alloc_run(5, 0, 2)
+        assert b.find_run_in_block(5, 6) == 2
+        assert b.find_run_in_block(5, 7) is None
+
+    def test_run_is_free(self):
+        b = make()
+        b.alloc_run(5, 4, 1)
+        assert b.run_is_free(5, 0, 4)
+        assert not b.run_is_free(5, 3, 3)
+
+
+class TestRunIndex:
+    def test_partial_blocks_indexed(self):
+        b = make()
+        b.alloc_run(2, 0, 5)  # leaves a run of 3
+        assert 2 in b.partial_blocks_with_run(3)
+        assert 2 in b.partial_blocks_with_run(1)
+        assert 2 not in b.partial_blocks_with_run(4)
+
+    def test_free_blocks_not_indexed(self):
+        b = make()
+        assert b.partial_blocks_with_run(1) == []
+
+    def test_full_blocks_not_indexed(self):
+        b = make()
+        b.alloc_run(2, 0, 8)
+        assert b.partial_blocks_with_run(1) == []
+
+    def test_index_updates_on_free(self):
+        b = make()
+        b.alloc_run(2, 0, 5)
+        b.free_run(2, 0, 5)
+        assert b.partial_blocks_with_run(1) == []
+
+    def test_invalid_size_rejected(self):
+        b = make()
+        with pytest.raises(ValueError):
+            b.partial_blocks_with_run(8)
+
+    def test_frsum_counts(self):
+        b = make()
+        b.alloc_run(1, 0, 5)  # run of 3
+        b.alloc_run(2, 0, 5)  # run of 3
+        b.alloc_run(3, 0, 7)  # run of 1
+        frsum = b.frsum()
+        assert frsum[3] == 2
+        assert frsum[1] == 1
+        assert frsum[5] == 0

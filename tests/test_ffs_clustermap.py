@@ -1,0 +1,166 @@
+"""Unit tests for the free-run interval map (cluster summaries)."""
+
+import pytest
+
+from repro.ffs.clustermap import BlockRunMap
+
+
+class TestConstruction:
+    def test_starts_fully_free(self):
+        m = BlockRunMap(100)
+        assert m.free_blocks == 100
+        assert m.runs() == [(0, 100)]
+
+    def test_can_start_empty(self):
+        m = BlockRunMap(100, initially_free=False)
+        assert m.free_blocks == 0
+        assert m.runs() == []
+
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ValueError):
+            BlockRunMap(0)
+
+
+class TestAllocFree:
+    def test_alloc_splits_run(self):
+        m = BlockRunMap(10)
+        m.alloc(4)
+        assert m.runs() == [(0, 4), (5, 5)]
+        assert m.free_blocks == 9
+
+    def test_alloc_at_run_start(self):
+        m = BlockRunMap(10)
+        m.alloc(0)
+        assert m.runs() == [(1, 9)]
+
+    def test_alloc_at_run_end(self):
+        m = BlockRunMap(10)
+        m.alloc(9)
+        assert m.runs() == [(0, 9)]
+
+    def test_alloc_allocated_rejected(self):
+        m = BlockRunMap(10)
+        m.alloc(4)
+        with pytest.raises(ValueError):
+            m.alloc(4)
+
+    def test_free_merges_both_neighbours(self):
+        m = BlockRunMap(10)
+        m.alloc(4)
+        m.free(4)
+        assert m.runs() == [(0, 10)]
+
+    def test_free_merges_left_only(self):
+        m = BlockRunMap(10)
+        m.alloc(4)
+        m.alloc(5)
+        m.free(4)
+        assert m.runs() == [(0, 5), (6, 4)]
+
+    def test_free_merges_right_only(self):
+        m = BlockRunMap(10)
+        m.alloc(4)
+        m.alloc(5)
+        m.free(5)
+        assert m.runs() == [(0, 4), (5, 5)]
+
+    def test_free_isolated(self):
+        m = BlockRunMap(10)
+        for b in (3, 4, 5):
+            m.alloc(b)
+        m.free(4)
+        assert (4, 1) in m.runs()
+
+    def test_double_free_rejected(self):
+        m = BlockRunMap(10)
+        with pytest.raises(ValueError):
+            m.free(4)
+
+    def test_alloc_range(self):
+        m = BlockRunMap(10)
+        m.alloc_range(2, 5)
+        assert m.runs() == [(0, 2), (7, 3)]
+
+
+class TestQueries:
+    def test_is_free(self):
+        m = BlockRunMap(10)
+        m.alloc(4)
+        assert m.is_free(3)
+        assert not m.is_free(4)
+
+    def test_is_free_out_of_range(self):
+        m = BlockRunMap(10)
+        assert not m.is_free(-1)
+        assert not m.is_free(10)
+
+    def test_max_run(self):
+        m = BlockRunMap(10)
+        m.alloc(6)
+        assert m.max_run() == 6
+
+    def test_find_free_block_prefers_pref(self):
+        m = BlockRunMap(10)
+        assert m.find_free_block(4) == 4
+
+    def test_find_free_block_scans_forward(self):
+        m = BlockRunMap(10)
+        m.alloc(4)
+        assert m.find_free_block(4) == 5
+
+    def test_find_free_block_wraps(self):
+        m = BlockRunMap(10)
+        for b in range(5, 10):
+            m.alloc(b)
+        assert m.find_free_block(7) == 0
+
+    def test_find_free_block_none_when_full(self):
+        m = BlockRunMap(3)
+        for b in range(3):
+            m.alloc(b)
+        assert m.find_free_block(0) is None
+
+
+class TestFindFreeRun:
+    def test_continuation_at_pref(self):
+        m = BlockRunMap(20)
+        m.alloc_range(0, 5)
+        # pref inside the tail run with room: continue exactly there.
+        assert m.find_free_run(4, pref=8) == 8
+
+    def test_firstfit_lowest_address(self):
+        m = BlockRunMap(30)
+        # runs: [0,2) [5,12) [20,30)
+        m.alloc_range(2, 3)
+        m.alloc_range(12, 8)
+        assert m.find_free_run(5, pref=2, fit="firstfit") == 5
+
+    def test_bestfit_smallest_adequate(self):
+        m = BlockRunMap(30)
+        # runs: [0,2) len2, [5,12) len7, [20,30) len10
+        m.alloc_range(2, 3)
+        m.alloc_range(12, 8)
+        assert m.find_free_run(5, pref=0, fit="bestfit") == 5  # len 7 < 10
+
+    def test_exact_fit_wins_bestfit(self):
+        m = BlockRunMap(30)
+        m.alloc_range(2, 3)   # run [0,2)
+        m.alloc_range(12, 8)  # runs [5,12)=7, [20,30)=10
+        assert m.find_free_run(7, pref=25, fit="bestfit") == 5
+
+    def test_none_when_no_run_big_enough(self):
+        m = BlockRunMap(10)
+        m.alloc(5)
+        assert m.find_free_run(6) is None
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            BlockRunMap(10).find_free_run(0)
+
+    def test_bad_fit_rejected(self):
+        with pytest.raises(ValueError):
+            BlockRunMap(10).find_free_run(2, fit="nonsense")
+
+    def test_empty_map(self):
+        m = BlockRunMap(4, initially_free=False)
+        assert m.find_free_run(1) is None

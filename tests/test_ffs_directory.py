@@ -1,0 +1,43 @@
+"""Unit tests for Directory membership tracking."""
+
+import pytest
+
+from repro.ffs.directory import Directory
+
+
+@pytest.fixture
+def directory():
+    return Directory(name="d", ino=7, cg=2)
+
+
+class TestMembership:
+    def test_add_and_list(self, directory):
+        directory.add(10)
+        directory.add(11)
+        assert directory.list_children() == [10, 11]
+        assert len(directory) == 2
+
+    def test_insertion_order_preserved(self, directory):
+        for ino in (5, 3, 9, 1):
+            directory.add(ino)
+        assert directory.list_children() == [5, 3, 9, 1]
+
+    def test_duplicate_add_rejected(self, directory):
+        directory.add(10)
+        with pytest.raises(ValueError):
+            directory.add(10)
+
+    def test_remove(self, directory):
+        directory.add(10)
+        directory.remove(10)
+        assert directory.list_children() == []
+
+    def test_remove_missing_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.remove(10)
+
+    def test_remove_then_readd(self, directory):
+        directory.add(10)
+        directory.remove(10)
+        directory.add(10)
+        assert len(directory) == 1

@@ -1,0 +1,225 @@
+"""Unit tests for the FileSystem facade (lifecycle, tails, reserve)."""
+
+import pytest
+
+from repro.errors import (
+    FileExistsSimError,
+    FileNotFoundSimError,
+    InvalidRequestError,
+    OutOfSpaceError,
+)
+from repro.ffs.check import check_filesystem
+from repro.ffs.filesystem import FileSystem
+from repro.ffs.params import scaled_params
+from repro.units import KB, MB
+
+
+@pytest.fixture
+def params():
+    return scaled_params(24 * MB)
+
+
+@pytest.fixture(params=["ffs", "realloc"])
+def fs(request, params):
+    return FileSystem(params, policy=request.param)
+
+
+class TestDirectories:
+    def test_make_directory(self, fs):
+        d = fs.make_directory("home")
+        assert d.name == "home"
+        assert fs.inodes[d.ino].is_dir
+
+    def test_duplicate_rejected(self, fs):
+        fs.make_directory("home")
+        with pytest.raises(FileExistsSimError):
+            fs.make_directory("home")
+
+    def test_directory_consumes_one_fragment(self, fs, params):
+        before = fs.sb.free_frags
+        fs.make_directory("home")
+        assert fs.sb.free_frags == before - 1
+
+    def test_directories_spread_over_groups(self, fs, params):
+        groups = {fs.make_directory(f"d{i}").cg for i in range(params.ncg)}
+        assert len(groups) == params.ncg
+
+
+class TestCreateDelete:
+    def test_create_empty_file(self, fs):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 0)
+        inode = fs.inode(ino)
+        assert inode.size == 0
+        assert inode.n_chunks() == 0
+
+    def test_create_by_directory_name(self, fs):
+        fs.make_directory("d")
+        ino = fs.create_file("d", 4 * KB)
+        assert fs.directory_of(ino).name == "d"
+
+    def test_small_file_uses_fragments(self, fs):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 3 * KB)
+        inode = fs.inode(ino)
+        assert inode.blocks == []
+        assert inode.tail is not None
+        assert inode.tail[2] == 3
+
+    def test_exact_block_has_no_tail(self, fs):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 8 * KB)
+        inode = fs.inode(ino)
+        assert len(inode.blocks) == 1
+        assert inode.tail is None
+
+    def test_file_in_directory_group(self, fs, params):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 16 * KB)
+        inode = fs.inode(ino)
+        assert params.cg_of_block(inode.blocks[0]) == d.cg
+        assert params.cg_of_inode(ino) == d.cg
+
+    def test_negative_size_rejected(self, fs):
+        d = fs.make_directory("d")
+        with pytest.raises(InvalidRequestError):
+            fs.create_file(d, -1)
+
+    def test_delete_returns_space(self, fs):
+        d = fs.make_directory("d")
+        free_before = fs.sb.free_frags
+        ino = fs.create_file(d, 100 * KB)
+        fs.delete_file(ino)
+        assert fs.sb.free_frags == free_before
+        with pytest.raises(FileNotFoundSimError):
+            fs.inode(ino)
+
+    def test_delete_directory_rejected(self, fs):
+        d = fs.make_directory("d")
+        with pytest.raises(InvalidRequestError):
+            fs.delete_file(d.ino)
+
+    def test_delete_removes_from_directory(self, fs):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 4 * KB)
+        fs.delete_file(ino)
+        assert ino not in d.children
+
+    def test_consistency_after_lifecycle(self, fs):
+        d = fs.make_directory("d")
+        inos = [fs.create_file(d, size) for size in (1, 9 * KB, 96 * KB, 1 * MB)]
+        for ino in inos[::2]:
+            fs.delete_file(ino)
+        check_filesystem(fs)
+
+
+class TestAppendAndTails:
+    def test_append_grows_size(self, fs):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 4 * KB)
+        fs.append(ino, 2 * KB)
+        assert fs.inode(ino).size == 6 * KB
+
+    def test_append_zero_rejected(self, fs):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 4 * KB)
+        with pytest.raises(InvalidRequestError):
+            fs.append(ino, 0)
+
+    def test_tail_grows_in_place_when_possible(self, fs):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 2 * KB)
+        tail_before = fs.inode(ino).tail
+        fs.append(ino, 2 * KB)
+        tail_after = fs.inode(ino).tail
+        assert tail_after[2] == 4
+        assert (tail_after[0], tail_after[1]) == (tail_before[0], tail_before[1])
+
+    def test_tail_promotes_to_full_block(self, fs):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 5 * KB)
+        fs.append(ino, 6 * KB)  # 11 KB: one full block + 3 frag tail
+        inode = fs.inode(ino)
+        assert len(inode.blocks) == 1
+        assert inode.tail is not None and inode.tail[2] == 3
+        check_filesystem(fs)
+
+    def test_growth_across_indirect_boundary(self, fs, params):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 90 * KB)
+        fs.append(ino, 30 * KB)  # crosses 96 KB
+        inode = fs.inode(ino)
+        assert len(inode.indirect_blocks) == 1
+        assert inode.size == 120 * KB
+        check_filesystem(fs)
+
+    def test_incremental_append_matches_single_write_chunks(self, fs):
+        d = fs.make_directory("d")
+        a = fs.create_file(d, 64 * KB)
+        b = fs.create_file(d, 8 * KB)
+        for _ in range(7):
+            fs.append(b, 8 * KB)
+        assert fs.inode(a).n_chunks() == fs.inode(b).n_chunks() == 8
+
+
+class TestOverwriteTruncate:
+    def test_overwrite_keeps_layout(self, fs):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 64 * KB, when=1.0)
+        blocks = list(fs.inode(ino).blocks)
+        fs.overwrite(ino, when=5.0)
+        assert fs.inode(ino).blocks == blocks
+        assert fs.inode(ino).mtime == 5.0
+
+    def test_truncate_frees_everything(self, fs):
+        d = fs.make_directory("d")
+        free_before = fs.sb.free_frags
+        ino = fs.create_file(d, 200 * KB)
+        fs.truncate(ino)
+        inode = fs.inode(ino)
+        assert inode.size == 0
+        assert inode.blocks == [] and inode.tail is None
+        assert fs.sb.free_frags == free_before
+        check_filesystem(fs)
+
+    def test_truncate_then_rewrite(self, fs):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 50 * KB)
+        fs.truncate(ino)
+        fs.append(ino, 20 * KB)
+        assert fs.inode(ino).size == 20 * KB
+        check_filesystem(fs)
+
+
+class TestReserve:
+    def test_create_beyond_reserve_fails_cleanly(self, params):
+        fs = FileSystem(params, policy="ffs")
+        d = fs.make_directory("d")
+        inos = []
+        with pytest.raises(OutOfSpaceError):
+            while True:
+                inos.append(fs.create_file(d, 1 * MB))
+        # No ghost inode is left behind by the failed create.
+        check_filesystem(fs)
+        assert fs.utilization() <= 0.92
+
+    def test_reserve_can_be_disabled(self, params):
+        fs = FileSystem(params, policy="ffs", enforce_reserve=False)
+        d = fs.make_directory("d")
+        created = 0
+        try:
+            while True:
+                fs.create_file(d, 1 * MB)
+                created += 1
+        except OutOfSpaceError:
+            pass
+        assert fs.utilization() > 0.92
+        check_filesystem(fs)
+
+    def test_mtimes_tracked(self, fs):
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 4 * KB, when=3.5)
+        assert fs.inode(ino).ctime == 3.5
+        assert fs.inode(ino).mtime == 3.5
+        assert fs.files_modified_since(3.0) == [fs.inode(ino)]
+        assert fs.files_modified_since(4.0) == []

@@ -1,0 +1,60 @@
+"""Unit tests for the Inode layout record."""
+
+from repro.ffs.inode import Inode
+from repro.ffs.params import FSParams
+from repro.units import KB
+
+
+P = FSParams()
+
+
+class TestDataBlockList:
+    def test_empty_file(self):
+        assert Inode(ino=1).data_block_list() == []
+
+    def test_full_blocks_only(self):
+        inode = Inode(ino=1, blocks=[10, 11, 12])
+        assert inode.data_block_list() == [10, 11, 12]
+
+    def test_tail_contributes_its_block(self):
+        inode = Inode(ino=1, blocks=[10], tail=(30, 2, 3))
+        assert inode.data_block_list() == [10, 30]
+
+    def test_n_chunks(self):
+        assert Inode(ino=1, blocks=[1, 2], tail=(9, 0, 1)).n_chunks() == 3
+        assert Inode(ino=1).n_chunks() == 0
+
+
+class TestFragsUsed:
+    def test_counts_blocks_tail_and_indirects(self):
+        inode = Inode(
+            ino=1, blocks=[10, 11], tail=(30, 0, 3), indirect_blocks=[99]
+        )
+        fpb = P.frags_per_block
+        assert inode.frags_used(P) == 2 * fpb + 3 + fpb
+
+    def test_empty(self):
+        assert Inode(ino=1).frags_used(P) == 0
+
+
+class TestIndirectBoundaries:
+    def test_first_boundary_at_ndaddr(self):
+        inode = Inode(ino=1, blocks=[0] * 20)
+        assert inode.indirect_boundaries(P)[0] == P.ndaddr
+
+    def test_needs_indirect_at_exactly_ndaddr(self):
+        inode = Inode(ino=1)
+        assert inode.needs_indirect_at(P.ndaddr, P)
+        assert not inode.needs_indirect_at(P.ndaddr - 1, P)
+        assert not inode.needs_indirect_at(P.ndaddr + 1, P)
+
+    def test_second_boundary_after_nindir(self):
+        nindir = P.block_size // 4
+        inode = Inode(ino=1)
+        assert inode.needs_indirect_at(P.ndaddr + nindir, P)
+        assert not inode.needs_indirect_at(P.ndaddr + nindir - 1, P)
+
+    def test_boundaries_list_for_large_file(self):
+        nindir = P.block_size // 4
+        inode = Inode(ino=1, blocks=[0] * (P.ndaddr + nindir + 5))
+        assert inode.indirect_boundaries(P) == [P.ndaddr, P.ndaddr + nindir]

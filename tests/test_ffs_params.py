@@ -1,0 +1,139 @@
+"""Unit tests for FSParams (Table 1 file-system parameters)."""
+
+import pytest
+
+from repro.ffs.params import FSParams, scaled_params
+from repro.units import KB, MB
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        p = FSParams()
+        assert p.block_size == 8 * KB
+        assert p.frag_size == 1 * KB
+        assert p.frags_per_block == 8
+        assert p.ncg == 27
+        assert p.maxcontig == 7
+        assert p.max_cluster_bytes == 56 * KB
+        assert p.minfree == pytest.approx(0.10)
+
+    def test_size_rounds_to_whole_groups(self):
+        p = FSParams()
+        assert p.nblocks == p.blocks_per_cg * p.ncg
+        assert abs(p.actual_size_bytes - 502 * MB) < p.ncg * p.block_size * 2
+
+    def test_max_direct_bytes_is_96kb(self):
+        assert FSParams().max_direct_bytes == 96 * KB
+
+    def test_blocks_per_cg_near_paper(self):
+        assert 2300 <= FSParams().blocks_per_cg <= 2450
+
+
+class TestValidation:
+    def test_block_must_be_multiple_of_frag(self):
+        with pytest.raises(ValueError):
+            FSParams(block_size=8 * KB, frag_size=3 * KB)
+
+    def test_at_most_eight_frags_per_block(self):
+        with pytest.raises(ValueError):
+            FSParams(block_size=8 * KB, frag_size=512)
+
+    def test_need_a_group(self):
+        with pytest.raises(ValueError):
+            FSParams(ncg=0)
+
+    def test_maxcontig_positive(self):
+        with pytest.raises(ValueError):
+            FSParams(maxcontig=0)
+
+    def test_minfree_sane(self):
+        with pytest.raises(ValueError):
+            FSParams(minfree=0.7)
+
+    def test_groups_must_hold_metadata(self):
+        with pytest.raises(ValueError):
+            FSParams(size_bytes=1 * MB, ncg=64)
+
+
+class TestLayoutForSize:
+    def setup_method(self):
+        self.p = FSParams()
+
+    def test_zero(self):
+        assert self.p.layout_for_size(0) == (0, 0)
+
+    def test_small_file_is_all_tail(self):
+        assert self.p.layout_for_size(3 * KB) == (0, 3)
+
+    def test_one_full_block(self):
+        assert self.p.layout_for_size(8 * KB) == (1, 0)
+
+    def test_block_plus_tail(self):
+        assert self.p.layout_for_size(9 * KB) == (1, 1)
+
+    def test_tail_filling_block_becomes_full_block(self):
+        # 15.5 KB: tail would need 8 frags = a whole block.
+        assert self.p.layout_for_size(15 * KB + 512) == (2, 0)
+
+    def test_no_tail_beyond_direct_blocks(self):
+        # 97 KB needs 13 chunks > 12 direct: all full blocks.
+        assert self.p.layout_for_size(97 * KB) == (13, 0)
+
+    def test_96kb_exactly_twelve_blocks(self):
+        assert self.p.layout_for_size(96 * KB) == (12, 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.p.layout_for_size(-1)
+
+
+class TestAddressHelpers:
+    def setup_method(self):
+        self.p = FSParams()
+
+    def test_cg_of_block_boundaries(self):
+        assert self.p.cg_of_block(0) == 0
+        assert self.p.cg_of_block(self.p.blocks_per_cg - 1) == 0
+        assert self.p.cg_of_block(self.p.blocks_per_cg) == 1
+
+    def test_cg_of_block_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.p.cg_of_block(self.p.nblocks)
+
+    def test_cg_base_block(self):
+        assert self.p.cg_base_block(3) == 3 * self.p.blocks_per_cg
+
+    def test_cg_of_inode(self):
+        assert self.p.cg_of_inode(0) == 0
+        assert self.p.cg_of_inode(self.p.inodes_per_cg) == 1
+
+    def test_inode_block_within_group_metadata(self):
+        for ino in (0, 1, self.p.inodes_per_cg - 1):
+            block = self.p.inode_block(ino)
+            assert (
+                self.p.cg_base_block(0)
+                < block
+                < self.p.cg_base_block(0) + self.p.metadata_blocks_per_cg
+            )
+
+    def test_inode_block_second_group(self):
+        block = self.p.inode_block(self.p.inodes_per_cg)
+        assert self.p.cg_of_block(block) == 1
+
+
+class TestScaledParams:
+    def test_keeps_block_sizes(self):
+        p = scaled_params(32 * MB)
+        assert p.block_size == 8 * KB
+        assert p.frag_size == 1 * KB
+        assert p.maxcontig == 7
+
+    def test_blocks_per_cg_near_paper(self):
+        p = scaled_params(64 * MB)
+        assert 1500 <= p.blocks_per_cg <= 3500
+
+    def test_explicit_ncg(self):
+        assert scaled_params(32 * MB, ncg=4).ncg == 4
+
+    def test_at_least_two_groups(self):
+        assert scaled_params(16 * MB).ncg >= 2

@@ -1,0 +1,88 @@
+"""Tests for workload profiles (Section 6 future work)."""
+
+import pytest
+
+from repro.aging.generator import AgingConfig, build_workloads
+from repro.aging.profiles import PROFILE_BYTES_PER_INODE, PROFILES, get_profile
+from repro.aging.replay import age_file_system
+from repro.aging.workload import CREATE
+from repro.ffs.params import scaled_params
+from repro.units import KB, MB
+
+
+class TestRegistry:
+    def test_profiles_exist(self):
+        assert {"home", "news", "database", "pc"} == set(PROFILES)
+
+    def test_every_profile_has_inode_density(self):
+        assert set(PROFILE_BYTES_PER_INODE) == set(PROFILES)
+
+    def test_get_profile(self):
+        assert get_profile("news") is PROFILES["news"]
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            get_profile("mainframe")
+
+    def test_home_is_default_levels(self):
+        from repro.aging.snapshot import ActivityLevels
+
+        assert PROFILES["home"] == ActivityLevels()
+
+
+class TestProfileCharacter:
+    """Each profile's workload must actually look like its class."""
+
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        import dataclasses
+
+        out = {}
+        for name in PROFILES:
+            params = dataclasses.replace(
+                scaled_params(16 * MB),
+                bytes_per_inode=PROFILE_BYTES_PER_INODE[name],
+            )
+            config = AgingConfig(
+                params=params, days=10, seed=3, levels=PROFILES[name]
+            )
+            out[name] = (params, build_workloads(config))
+        return out
+
+    def test_all_profiles_validate(self, workloads):
+        for _params, artifacts in workloads.values():
+            artifacts.reconstructed.validate()
+            artifacts.ground_truth.validate()
+
+    def test_news_has_most_operations(self, workloads):
+        counts = {
+            name: len(artifacts.ground_truth)
+            for name, (_p, artifacts) in workloads.items()
+        }
+        assert counts["news"] == max(counts.values())
+
+    def test_database_files_are_biggest(self, workloads):
+        def mean_create_size(artifacts):
+            sizes = [r.size for r in artifacts.ground_truth if r.op == CREATE and r.size]
+            return sum(sizes) / len(sizes)
+
+        db = mean_create_size(workloads["database"][1])
+        news = mean_create_size(workloads["news"][1])
+        assert db > 5 * news
+
+    def test_pc_runs_at_lower_utilization(self, workloads):
+        params, artifacts = workloads["pc"]
+        result = age_file_system(
+            artifacts.reconstructed, params=params, policy="ffs"
+        )
+        assert result.fs.utilization() < 0.70
+
+    def test_profiles_replay_cleanly(self, workloads):
+        from repro.ffs.check import check_filesystem
+
+        for name, (params, artifacts) in workloads.items():
+            result = age_file_system(
+                artifacts.reconstructed, params=params, policy="realloc"
+            )
+            check_filesystem(result.fs)
+            assert result.skipped_no_space < 0.02 * result.creates + 5

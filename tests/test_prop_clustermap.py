@@ -1,0 +1,109 @@
+"""Property-based tests for the free-run interval map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.ffs.clustermap import BlockRunMap
+
+N = 40
+
+
+class RunMapMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.map = BlockRunMap(N)
+        self.free = set(range(N))
+
+    @rule(block=st.integers(0, N - 1))
+    def alloc(self, block):
+        if block in self.free:
+            self.map.alloc(block)
+            self.free.discard(block)
+
+    @rule(block=st.integers(0, N - 1))
+    def free_block(self, block):
+        if block not in self.free:
+            self.map.free(block)
+            self.free.add(block)
+
+    @invariant()
+    def runs_cover_exactly_the_free_set(self):
+        covered = set()
+        for start, length in self.map.runs():
+            covered.update(range(start, start + length))
+        assert covered == self.free
+        assert self.map.free_blocks == len(self.free)
+
+    @invariant()
+    def runs_are_maximal_and_disjoint(self):
+        runs = self.map.runs()
+        for i, (start, length) in enumerate(runs):
+            assert length >= 1
+            if i + 1 < len(runs):
+                next_start = runs[i + 1][0]
+                # A gap of at least one allocated block between runs.
+                assert start + length < next_start
+
+    @invariant()
+    def find_free_block_returns_free(self):
+        for pref in (0, N // 2, N - 1):
+            found = self.map.find_free_block(pref)
+            if self.free:
+                assert found in self.free
+            else:
+                assert found is None
+
+    @invariant()
+    def find_free_run_results_are_free_runs(self):
+        for length in (1, 2, 5):
+            for fit in ("firstfit", "bestfit"):
+                start = self.map.find_free_run(length, pref=3, fit=fit)
+                if start is not None:
+                    assert all(
+                        b in self.free for b in range(start, start + length)
+                    )
+                else:
+                    assert self.map.max_run() < length
+
+
+TestRunMapMachine = RunMapMachine.TestCase
+TestRunMapMachine.settings = settings(max_examples=30, stateful_step_count=50)
+
+
+class TestRunMapProperties:
+    @given(st.sets(st.integers(0, N - 1)))
+    @settings(max_examples=100)
+    def test_max_run_is_true_maximum(self, allocated):
+        m = BlockRunMap(N)
+        for b in sorted(allocated):
+            m.alloc(b)
+        free = sorted(set(range(N)) - allocated)
+        best = 0
+        current = 0
+        prev = None
+        for b in free:
+            current = current + 1 if prev == b - 1 else 1
+            best = max(best, current)
+            prev = b
+        assert m.max_run() == best
+
+    @given(st.sets(st.integers(0, N - 1)), st.integers(1, 10), st.integers(0, N - 1))
+    @settings(max_examples=100)
+    def test_firstfit_is_lowest_adequate_run(self, allocated, length, pref):
+        m = BlockRunMap(N)
+        for b in sorted(allocated):
+            m.alloc(b)
+        got = m.find_free_run(length, pref=pref, fit="firstfit")
+        runs = m.runs()
+        adequate = [s for s, l in runs if l >= length]
+        # Continuation at pref takes precedence when available.
+        containing = [
+            (s, l) for s, l in runs if s <= pref < s + l and s + l - pref >= length
+        ]
+        if containing:
+            assert got == pref
+        elif adequate:
+            assert got == adequate[0]
+        else:
+            assert got is None

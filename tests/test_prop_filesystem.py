@@ -1,0 +1,143 @@
+"""Property-based tests for the file system under random op sequences.
+
+A stateful machine drives create/append/delete/truncate against both
+policies simultaneously with the identical operation sequence, checking
+after every step that (a) the fsck-lite invariants hold, (b) the two
+file systems agree on all logical state (sizes, live files), and (c)
+space accounting round-trips.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import OutOfSpaceError
+from repro.ffs.check import check_filesystem
+from repro.ffs.filesystem import FileSystem
+from repro.ffs.params import scaled_params
+from repro.units import KB, MB
+
+PARAMS = scaled_params(16 * MB)
+
+SIZES = st.sampled_from(
+    [
+        512,
+        3 * KB,
+        8 * KB,
+        9 * KB,
+        15 * KB + 512,
+        16 * KB,
+        50 * KB,
+        56 * KB,
+        96 * KB,
+        104 * KB,
+        300 * KB,
+    ]
+)
+
+
+class DualFileSystemMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.fss = {
+            "ffs": FileSystem(PARAMS, policy="ffs"),
+            "realloc": FileSystem(PARAMS, policy="realloc"),
+        }
+        for fs in self.fss.values():
+            fs.make_directory("d0")
+            fs.make_directory("d1")
+        self.live = {}  # key -> {"ffs": ino, "realloc": ino, "size": int}
+        self.next_key = 0
+        self.steps = 0
+
+    @rule(size=SIZES, dirname=st.sampled_from(["d0", "d1"]))
+    def create(self, size, dirname):
+        inos = {}
+        for name, fs in self.fss.items():
+            try:
+                inos[name] = fs.create_file(dirname, size, when=self.steps)
+            except OutOfSpaceError:
+                # Both must agree on whether space is available: sizes
+                # and state are identical, so failure must be symmetric
+                # at the logical level.  (Allocation details may differ,
+                # so allow one side to fail only when near the limit.)
+                for other, ino in inos.items():
+                    self.fss[other].delete_file(ino)
+                return
+        key = self.next_key
+        self.next_key += 1
+        self.live[key] = {"inos": inos, "size": size}
+        self.steps += 1
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data(), extra=SIZES)
+    def append(self, data, extra):
+        key = data.draw(st.sampled_from(sorted(self.live)))
+        entry = self.live[key]
+        results = {}
+        for name, fs in self.fss.items():
+            try:
+                fs.append(entry["inos"][name], extra, when=self.steps)
+                results[name] = True
+            except OutOfSpaceError:
+                results[name] = False
+        # Keep the shadow consistent with the (possibly partial) growth.
+        entry["size"] = max(
+            self.fss[name].inode(entry["inos"][name]).size
+            for name in self.fss
+        )
+        self.steps += 1
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def delete(self, data):
+        key = data.draw(st.sampled_from(sorted(self.live)))
+        entry = self.live.pop(key)
+        for name, fs in self.fss.items():
+            fs.delete_file(entry["inos"][name], when=self.steps)
+        self.steps += 1
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def truncate(self, data):
+        key = data.draw(st.sampled_from(sorted(self.live)))
+        entry = self.live[key]
+        for name, fs in self.fss.items():
+            fs.truncate(entry["inos"][name], when=self.steps)
+        entry["size"] = 0
+        self.steps += 1
+
+    @invariant()
+    def fsck_passes_on_both(self):
+        for fs in self.fss.values():
+            check_filesystem(fs)
+
+    @invariant()
+    def logical_state_agrees(self):
+        counts = {name: len(fs.files()) for name, fs in self.fss.items()}
+        assert counts["ffs"] == counts["realloc"] == len(self.live)
+        for entry in self.live.values():
+            sizes = {
+                name: self.fss[name].inode(entry["inos"][name]).size
+                for name in self.fss
+            }
+            assert sizes["ffs"] == sizes["realloc"]
+
+    @invariant()
+    def space_accounting_agrees_with_inodes(self):
+        for fs in self.fss.values():
+            used = sum(
+                inode.frags_used(fs.params) for inode in fs.inodes.values()
+            )
+            metadata = (
+                fs.params.metadata_blocks_per_cg
+                * fs.params.ncg
+                * fs.params.frags_per_block
+            )
+            assert fs.sb.free_frags == fs.params.nfrags - metadata - used
+
+
+TestDualFileSystemMachine = DualFileSystemMachine.TestCase
+TestDualFileSystemMachine.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,76 @@
+"""Property-based tests: image roundtrip over random file systems."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.layout import aggregate_layout_score
+from repro.errors import OutOfSpaceError
+from repro.ffs.check import check_filesystem
+from repro.ffs.filesystem import FileSystem
+from repro.ffs.image import dump_filesystem, load_filesystem
+from repro.ffs.params import scaled_params
+from repro.units import KB, MB
+
+PARAMS = scaled_params(16 * MB)
+
+op_lists = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "delete", "append", "truncate"]),
+        st.sampled_from([1, 3 * KB, 9 * KB, 16 * KB, 56 * KB, 104 * KB]),
+        st.integers(0, 1000),
+    ),
+    max_size=40,
+)
+
+
+def build_fs(policy, ops):
+    fs = FileSystem(PARAMS, policy=policy)
+    d = fs.make_directory("d")
+    live = []
+    for op, size, pick in ops:
+        try:
+            if op == "create" or not live:
+                live.append(fs.create_file(d, size))
+            elif op == "delete":
+                fs.delete_file(live.pop(pick % len(live)))
+            elif op == "append":
+                fs.append(live[pick % len(live)], size)
+            else:
+                fs.truncate(live[pick % len(live)])
+        except OutOfSpaceError:
+            pass
+    return fs
+
+
+class TestImageRoundtripProperty:
+    @given(st.sampled_from(["ffs", "realloc"]), op_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_preserves_everything(self, policy, ops):
+        fs = build_fs(policy, ops)
+        buf = io.StringIO()
+        dump_filesystem(fs, buf)
+        buf.seek(0)
+        restored = load_filesystem(buf)
+        check_filesystem(restored)
+        assert restored.sb.free_frags == fs.sb.free_frags
+        assert aggregate_layout_score(restored) == aggregate_layout_score(fs)
+        assert sorted(restored.inodes) == sorted(fs.inodes)
+        for ino, inode in fs.inodes.items():
+            other = restored.inodes[ino]
+            assert other.blocks == inode.blocks
+            assert other.tail == inode.tail
+            assert other.indirect_blocks == inode.indirect_blocks
+            assert other.size == inode.size
+
+    @given(op_lists)
+    @settings(max_examples=10, deadline=None)
+    def test_double_roundtrip_is_identity(self, ops):
+        fs = build_fs("realloc", ops)
+        first = io.StringIO()
+        dump_filesystem(fs, first)
+        first.seek(0)
+        second = io.StringIO()
+        dump_filesystem(load_filesystem(first), second)
+        assert first.getvalue() == second.getvalue()

@@ -1,0 +1,100 @@
+"""Property-based tests for the log-structured file system.
+
+A stateful machine drives the full lifecycle API (with enough churn to
+trigger the cleaner) and checks the LFS invariants after every step; a
+shadow model tracks what should be live.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import OutOfSpaceError
+from repro.lfs.check import check_lfs
+from repro.lfs.filesystem import LogStructuredFS
+from repro.lfs.params import LFSParams
+from repro.units import KB, MB
+
+PARAMS = LFSParams(
+    size_bytes=8 * MB, segment_bytes=128 * KB,
+    clean_low_water=3, clean_high_water=6,
+)
+
+SIZES = st.sampled_from([1, 4 * KB, 8 * KB, 20 * KB, 56 * KB, 200 * KB])
+
+
+class LfsMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.fs = LogStructuredFS(PARAMS)
+        self.shadow = {}  # ino -> size
+
+    @rule(size=SIZES)
+    def create(self, size):
+        try:
+            ino = self.fs.create_file(None, size)
+        except OutOfSpaceError:
+            return
+        self.shadow[ino] = size
+
+    @precondition(lambda self: self.shadow)
+    @rule(data=st.data(), extra=SIZES)
+    def append(self, data, extra):
+        ino = data.draw(st.sampled_from(sorted(self.shadow)))
+        try:
+            self.fs.append(ino, extra)
+        except OutOfSpaceError:
+            return
+        self.shadow[ino] += extra
+
+    @precondition(lambda self: self.shadow)
+    @rule(data=st.data())
+    def overwrite(self, data):
+        ino = data.draw(st.sampled_from(sorted(self.shadow)))
+        self.fs.overwrite(ino)
+
+    @precondition(lambda self: self.shadow)
+    @rule(data=st.data())
+    def delete(self, data):
+        ino = data.draw(st.sampled_from(sorted(self.shadow)))
+        self.fs.delete_file(ino)
+        del self.shadow[ino]
+
+    @precondition(lambda self: self.shadow)
+    @rule(data=st.data())
+    def truncate(self, data):
+        ino = data.draw(st.sampled_from(sorted(self.shadow)))
+        self.fs.truncate(ino)
+        self.shadow[ino] = 0
+
+    @invariant()
+    def lfs_invariants_hold(self):
+        check_lfs(self.fs)
+
+    @invariant()
+    def shadow_agrees(self):
+        assert sorted(self.fs.inodes) == sorted(self.shadow)
+        for ino, size in self.shadow.items():
+            assert self.fs.inodes[ino].size == size
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.fs.live_blocks() <= PARAMS.usable_blocks
+
+    @invariant()
+    def fresh_files_sequential(self):
+        # The most recently created single-extent property: any file
+        # never touched by append/overwrite after the cleaner could be
+        # moved, so only check structural sanity here — block addresses
+        # are unique across all files.
+        seen = set()
+        for inode in self.fs.inodes.values():
+            for address in inode.blocks:
+                assert address not in seen
+                seen.add(address)
+
+
+TestLfsMachine = LfsMachine.TestCase
+TestLfsMachine.settings = settings(
+    max_examples=15, stateful_step_count=60, deadline=None
+)

@@ -1,0 +1,76 @@
+"""Property-based tests for workload generation and reconstruction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aging.diff import diff_snapshots, merge_days
+from repro.aging.generator import AgingConfig, build_workloads
+from repro.aging.snapshot import SourceActivityModel
+from repro.aging.workload import APPEND, CREATE, DELETE
+from repro.ffs.params import scaled_params
+from repro.units import MB
+
+PARAMS = scaled_params(16 * MB)
+
+
+class TestModelProperties:
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_any_seed_produces_valid_workload(self, seed, days):
+        model = SourceActivityModel(PARAMS, days=days, seed=seed)
+        workload, snapshots = model.generate()
+        workload.validate()
+        assert len(snapshots) == days
+        # Times stay inside the simulated window.
+        for record in workload:
+            assert 0.0 <= record.time < days
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_snapshot_sizes_never_negative(self, seed):
+        _, snapshots = SourceActivityModel(PARAMS, days=4, seed=seed).generate()
+        for snap in snapshots:
+            for record in snap.files.values():
+                assert record.size >= 0
+                assert record.ino >= 0
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_reconstruction_validates_for_any_seed(self, seed):
+        config = AgingConfig(params=PARAMS, days=5, seed=seed)
+        artifacts = build_workloads(config)
+        artifacts.reconstructed.validate()
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_reconstruction_preserves_live_population(self, seed):
+        """The reconstructed workload must end with exactly the files of
+        the final snapshot (same count, same total bytes)."""
+        config = AgingConfig(params=PARAMS, days=5, seed=seed)
+        artifacts = build_workloads(config)
+        live = {}
+        for r in artifacts.reconstructed:
+            if r.op == CREATE:
+                live[r.file_id] = r.size
+            elif r.op == APPEND:
+                live[r.file_id] += r.size
+            elif r.op == DELETE:
+                live.pop(r.file_id)
+        final = artifacts.snapshots[-1]
+        assert len(live) == len(final.files)
+        assert sum(live.values()) == sum(f.size for f in final.files.values())
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_diff_ops_reference_consistent_inodes(self, seed):
+        _, snapshots = SourceActivityModel(PARAMS, days=5, seed=seed).generate()
+        per_day = diff_snapshots(snapshots, seed=seed)
+        workload = merge_days(per_day)
+        # Every delete's src_ino must have been created earlier with the
+        # same inode number.
+        live_inos = {}
+        for record in workload:
+            if record.op == CREATE:
+                live_inos[record.file_id] = record.src_ino
+            elif record.op == DELETE:
+                assert live_inos.pop(record.file_id) == record.src_ino

@@ -1,0 +1,81 @@
+"""Unit tests for repro.units: size conversions and formatting."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    blocks_to_bytes,
+    bytes_to_blocks,
+    bytes_to_frags,
+    fmt_size,
+    fmt_throughput,
+)
+
+
+class TestBytesToBlocks:
+    def test_exact_multiple(self):
+        assert bytes_to_blocks(16 * KB, 8 * KB) == 2
+
+    def test_rounds_up(self):
+        assert bytes_to_blocks(8 * KB + 1, 8 * KB) == 2
+
+    def test_one_byte_needs_one_block(self):
+        assert bytes_to_blocks(1, 8 * KB) == 1
+
+    def test_zero_bytes(self):
+        assert bytes_to_blocks(0, 8 * KB) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_blocks(-1, 8 * KB)
+
+
+class TestBytesToFrags:
+    def test_exact_multiple(self):
+        assert bytes_to_frags(4 * KB, KB) == 4
+
+    def test_rounds_up(self):
+        assert bytes_to_frags(KB + 1, KB) == 2
+
+    def test_zero(self):
+        assert bytes_to_frags(0, KB) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_frags(-5, KB)
+
+
+class TestBlocksToBytes:
+    def test_roundtrip_with_bytes_to_blocks(self):
+        nbytes = blocks_to_bytes(7, 8 * KB)
+        assert bytes_to_blocks(nbytes, 8 * KB) == 7
+
+    def test_zero_blocks(self):
+        assert blocks_to_bytes(0, 8 * KB) == 0
+
+
+class TestFmtSize:
+    def test_bytes(self):
+        assert fmt_size(512) == "512 B"
+
+    def test_exact_kb(self):
+        assert fmt_size(56 * KB) == "56 KB"
+
+    def test_exact_mb(self):
+        assert fmt_size(502 * MB) == "502 MB"
+
+    def test_fractional_unit(self):
+        assert fmt_size(1.5 * KB) == "1.5 KB"
+
+    def test_gb(self):
+        assert fmt_size(2 * GB) == "2 GB"
+
+
+class TestFmtThroughput:
+    def test_mb_per_sec(self):
+        assert fmt_throughput(2.18 * MB) == "2.18 MB/sec"
+
+    def test_zero(self):
+        assert fmt_throughput(0) == "0.00 MB/sec"
