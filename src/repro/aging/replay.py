@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.aging.workload import APPEND, CREATE, Workload
 from repro.analysis.layout import optimal_pairs
 from repro.analysis.timeline import DailySample, Timeline
@@ -96,13 +97,41 @@ class AgingReplayer:
         workload: Workload,
         sample_days: bool = True,
     ) -> ReplayResult:
-        """Apply every operation; returns the result with daily samples."""
+        """Apply every operation; returns the result with daily samples.
+
+        With telemetry enabled each simulated day becomes one span
+        (simulated clock in days, attrs carrying that day's op/ENOSPC
+        tallies) and the run's totals land in process-wide counters.
+        """
         result = ReplayResult(fs=self.fs, timeline=Timeline(label=self.label))
+        tr = obs.tracer_or_none()
+        day_span = (
+            tr.begin("replay.day", sim=0, label=self.label, day=0)
+            if tr is not None
+            else None
+        )
+        day_start_ops = day_start_skips = 0
         current_day = 0
         for record in workload:
             day = int(record.time)
             while sample_days and day > current_day:
                 self._sample(result, current_day)
+                if tr is not None:
+                    tr.end(
+                        day_span,
+                        sim=current_day + 1,
+                        ops=result.ops_applied - day_start_ops,
+                        enospc=result.skipped_no_space - day_start_skips,
+                        layout_score=round(self.current_layout_score(), 4),
+                    )
+                    day_start_ops = result.ops_applied
+                    day_start_skips = result.skipped_no_space
+                    day_span = tr.begin(
+                        "replay.day",
+                        sim=current_day + 1,
+                        label=self.label,
+                        day=current_day + 1,
+                    )
                 current_day += 1
             if record.op == CREATE:
                 directory = self.target_directory(record.src_ino)
@@ -139,6 +168,24 @@ class AgingReplayer:
             result.ops_applied += 1
         if sample_days:
             self._sample(result, current_day)
+        if tr is not None:
+            tr.end(
+                day_span,
+                sim=current_day + 1,
+                ops=result.ops_applied - day_start_ops,
+                enospc=result.skipped_no_space - day_start_skips,
+                layout_score=round(self.current_layout_score(), 4),
+            )
+        m = obs.metrics_or_none()
+        if m is not None:
+            m.counter("replay.ops").inc(result.ops_applied)
+            m.counter("replay.creates").inc(result.creates)
+            m.counter("replay.deletes").inc(result.deletes)
+            m.counter("replay.enospc_skips").inc(result.skipped_no_space)
+            m.counter("replay.bytes_written").inc(result.bytes_written)
+            m.gauge(f"replay.{self.label}.final_score").set(
+                self.current_layout_score()
+            )
         return result
 
     def _sample(self, result: ReplayResult, day: int) -> None:

@@ -10,6 +10,7 @@ least one cluster long, and the largest run per cylinder group.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -28,6 +29,10 @@ class FreeSpaceStats:
     #: Fraction of free blocks sitting in runs of at least ``maxcontig``
     #: blocks — the space the realloc policy can actually exploit.
     clusterable_fraction: float
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form for the JSON export layer (``freespace --json``)."""
+        return dataclasses.asdict(self)
 
 
 def free_cluster_histogram(fs: FileSystem) -> Dict[int, int]:

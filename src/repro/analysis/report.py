@@ -103,6 +103,43 @@ def render_chart(
     return "\n".join(lines)
 
 
+#: Row order and labels/formatters for :func:`render_disk_stats`.
+_DISK_STAT_ROWS = (
+    ("reads", "requests read", "{:,.0f}"),
+    ("writes", "requests written", "{:,.0f}"),
+    ("bytes_read", "bytes read", "{:,.0f}"),
+    ("bytes_written", "bytes written", "{:,.0f}"),
+    ("busy_ms", "busy time (ms)", "{:,.1f}"),
+    ("seeks", "seeks", "{:,.0f}"),
+    ("seek_ms", "seek time (ms)", "{:,.1f}"),
+    ("rotation_ms", "rotational wait (ms)", "{:,.1f}"),
+    ("lost_rotations", "lost rotations", "{:,.0f}"),
+    ("buffer_hits", "track-buffer hits", "{:,.0f}"),
+)
+
+
+def render_disk_stats(stats: Dict[str, float], title: str = "Disk statistics") -> str:
+    """Render a :meth:`~repro.disk.model.DiskStats.to_dict` as a table.
+
+    One shared renderer replaces per-caller attribute poking: any
+    experiment or CLI command that has disk counters — live or read back
+    from a run manifest — prints them with the same labels and the same
+    derived throughput line.
+    """
+    rows = [
+        (label, fmt.format(stats[key]))
+        for key, label, fmt in _DISK_STAT_ROWS
+        if key in stats
+    ]
+    table = render_table(["counter", "value"], rows, title=title)
+    busy_ms = stats.get("busy_ms", 0.0)
+    if busy_ms:
+        total = stats.get("bytes_read", 0) + stats.get("bytes_written", 0)
+        mb_s = total / (busy_ms / 1000.0) / (1024.0 * 1024.0)
+        table += f"\n  aggregate throughput: {mb_s:.2f} MB/sec over busy time"
+    return table
+
+
 def render_csv(
     headers: Sequence[str], rows: Sequence[Sequence[object]]
 ) -> str:

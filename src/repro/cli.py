@@ -9,21 +9,34 @@ Subcommands:
 * ``experiment`` — run one experiment (``table1``, ``fig1`` ... ``fig6``,
   ``table2``) or ``all``, and print the paper-style tables/charts.
 * ``freespace``  — age a file system and report its free-space
-  fragmentation statistics.
+  fragmentation statistics (``--json`` for machine-readable output).
+* ``stats``      — render a captured ``--metrics`` manifest as
+  paper-style tables.
 
-Every subcommand takes ``--preset tiny|small|paper`` (default small).
+Every subcommand takes ``--preset tiny|small|paper`` (default small)
+plus the telemetry pair ``--metrics FILE`` (write a JSON run manifest:
+config + environment + metrics) and ``--trace FILE`` (write the span
+trace as JSONL).  Telemetry is off — a no-op — unless one of the two
+flags is given.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
+from repro import obs
 from repro.analysis.freespace import free_cluster_histogram, free_space_stats
-from repro.analysis.report import render_table
+from repro.analysis.report import render_disk_stats, render_table
 from repro.experiments.config import PRESETS, aged, artifacts, get_preset
-from repro.experiments.runner import EXPERIMENTS, render_all, run_one
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    experiment_header,
+    iter_all,
+    run_one,
+)
 from repro.units import MB, fmt_size
 
 
@@ -34,7 +47,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
-    return args.handler(args)
+    if not (getattr(args, "metrics", None) or getattr(args, "trace", None)):
+        return args.handler(args)
+    return _run_with_telemetry(args)
+
+
+def _run_with_telemetry(args: argparse.Namespace) -> int:
+    """Run one subcommand under an active telemetry session.
+
+    The whole invocation becomes the root span; afterwards the metrics
+    snapshot is sealed into a run manifest (``--metrics``) and the span
+    trace is written as JSONL (``--trace``).
+    """
+    with obs.session() as (registry, tracer):
+        manifest = obs.RunManifest(
+            command=args.command, config=_manifest_config(args)
+        )
+        start = time.perf_counter()
+        with tracer.span(f"cli.{args.command}", preset=getattr(args, "preset", None)):
+            code = args.handler(args)
+        manifest.finish(time.perf_counter() - start, registry.snapshot())
+        if args.metrics:
+            with open(args.metrics, "w") as fp:
+                manifest.dump(fp)
+            print(f"[obs] wrote metrics manifest to {args.metrics}", file=sys.stderr)
+        if args.trace:
+            with open(args.trace, "w") as fp:
+                spans = tracer.write_jsonl(fp)
+            print(
+                f"[obs] wrote {spans} spans to {args.trace}", file=sys.stderr
+            )
+    return code
+
+
+def _manifest_config(args: argparse.Namespace) -> dict:
+    """The invocation's parameters, minus plumbing, for the manifest."""
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in ("handler", "command", "metrics", "trace")
+        and not callable(value)
+    }
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -100,7 +153,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p_free.add_argument(
         "--policy", choices=["ffs", "realloc"], default="ffs",
     )
+    p_free.add_argument(
+        "--json", action="store_true",
+        help="emit the statistics and run-length histogram as JSON",
+    )
     p_free.set_defaults(handler=_cmd_freespace)
+
+    p_stats = sub.add_parser(
+        "stats", help="render a captured --metrics manifest as tables"
+    )
+    p_stats.add_argument("manifest", help="manifest file from a --metrics run")
+    p_stats.set_defaults(handler=_cmd_stats)
 
     p_abl = sub.add_parser(
         "ablation", help="run a design-choice ablation study"
@@ -120,6 +183,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_preset(p_prof)
     p_prof.set_defaults(handler=_cmd_profiles)
+
+    for sub_parser in (p_age, p_fsck, p_wl, p_exp, p_free, p_stats,
+                       p_abl, p_prof):
+        _add_obs(sub_parser)
     return parser
 
 
@@ -127,6 +194,18 @@ def _add_preset(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--preset", choices=sorted(PRESETS), default="small",
         help="scale preset (default: small)",
+    )
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="capture telemetry and write a JSON run manifest "
+        "(render it with `repro-ffs stats FILE`)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="capture telemetry and write the span trace as JSONL",
     )
 
 
@@ -223,7 +302,18 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.name == "all":
-        print(render_all(args.preset))
+        # Stream each block as its experiment completes (the suite takes
+        # minutes at larger presets); stdout stays byte-identical to the
+        # old batch rendering, progress notes go to stderr.
+        first = True
+        for name, result, elapsed in iter_all(args.preset):
+            if not first:
+                print(flush=True)
+            print(experiment_header(name, args.preset), flush=True)
+            print(flush=True)
+            print(result.render(), flush=True)  # type: ignore[attr-defined]
+            first = False
+            print(f"[obs] {name}: {elapsed:.1f}s", file=sys.stderr, flush=True)
         return 0
     result = run_one(args.name, args.preset)
     print(result.render())  # type: ignore[attr-defined]
@@ -241,6 +331,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_freespace(args: argparse.Namespace) -> int:
     fs = aged(args.preset, args.policy).fs
     stats = free_space_stats(fs)
+    if getattr(args, "json", False):
+        from repro.obs.export import write_json
+
+        write_json(
+            sys.stdout,
+            {
+                "preset": args.preset,
+                "policy": args.policy,
+                "block_size": fs.params.block_size,
+                "maxcontig": fs.params.maxcontig,
+                "stats": stats.to_dict(),
+                "run_length_histogram": [
+                    [length, count]
+                    for length, count in free_cluster_histogram(fs).items()
+                ],
+            },
+        )
+        return 0
     print(f"free-space fragmentation ({args.policy}, preset {args.preset}):")
     print(f"  free blocks:        {stats.free_blocks}")
     print(f"  free fragments:     {stats.free_frags}")
@@ -253,6 +361,51 @@ def _cmd_freespace(args: argparse.Namespace) -> int:
     histogram = free_cluster_histogram(fs)
     rows = [(str(length), str(count)) for length, count in histogram.items()]
     print(render_table(["run length", "count"], rows[:30]))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from datetime import datetime, timezone
+
+    from repro.obs.export import render_metrics
+    from repro.obs.manifest import RunManifest
+
+    with open(args.manifest) as fp:
+        manifest = RunManifest.load(fp)
+    started = datetime.fromtimestamp(
+        manifest.started_at, tz=timezone.utc
+    ).strftime("%Y-%m-%d %H:%M:%S UTC")
+    wall = (
+        f"{manifest.wall_seconds:.2f}s"
+        if manifest.wall_seconds is not None
+        else "unknown"
+    )
+    config = " ".join(
+        f"{key}={value}"
+        for key, value in manifest.config.items()
+        if value is not None
+    )
+    env = manifest.environment
+    print(f"run: repro-ffs {manifest.command} ({config})")
+    print(
+        f"  started {started}, wall time {wall}, "
+        f"python {env.get('python', '?')} on {env.get('platform', '?')}"
+    )
+    print()
+    disk = {
+        name.split(".", 1)[1]: data["value"]
+        for name, data in manifest.metrics.items()
+        if name.startswith("disk.") and data["type"] == "counter"
+    }
+    if set(disk) >= {"reads", "writes", "busy_ms"}:
+        print(render_disk_stats(disk, title="Disk model"))
+        print()
+    other = {
+        name: data
+        for name, data in manifest.metrics.items()
+        if not (name.startswith("disk.") and data["type"] == "counter")
+    }
+    print(render_metrics(other))
     return 0
 
 

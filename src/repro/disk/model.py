@@ -25,9 +25,11 @@ from __future__ import annotations
 import enum
 from typing import Iterable, List, Sequence
 
+from repro import obs
 from repro.disk.geometry import DiskGeometry
 from repro.disk.request import Extent, split_for_transfer
 from repro.disk.trackbuffer import TrackBuffer
+from repro.obs.metrics import MetricsRegistry
 from repro.units import MB
 
 
@@ -136,7 +138,7 @@ class DiskModel:
         if hit:
             # Serve the buffered prefix from drive RAM over the bus.
             self.now_ms += hit / self.bus_rate
-            self.stats.buffer_hits += 1
+            self.stats.note_buffer_hit()
             remaining = nbytes - hit
             if remaining:
                 # The firmware's prefetch head is already positioned at the
@@ -171,16 +173,13 @@ class DiskModel:
         seek = geo.seek_time_ms(self.current_cylinder, target_cyl)
         self.now_ms += seek
         if seek:
-            self.stats.seeks += 1
-            self.stats.seek_ms += seek
+            self.stats.note_seek(seek)
         self.current_cylinder = target_cyl
         target_angle = geo.rotational_position(sector)
         here = self.angle_at(self.now_ms)
         wait = ((target_angle - here) % 1.0) * geo.rotation_ms
         self.now_ms += wait
-        self.stats.rotation_ms += wait
-        if wait > 0.9 * geo.rotation_ms:
-            self.stats.lost_rotations += 1
+        self.stats.note_rotation(wait, lost=wait > 0.9 * geo.rotation_ms)
 
     def _media_transfer_ms(self, start_byte: int, nbytes: int) -> float:
         """Media-rate transfer time including head/cylinder switches."""
@@ -237,32 +236,105 @@ class DiskModel:
 
 
 class DiskStats:
-    """Counters accumulated by a :class:`DiskModel` run."""
+    """Counters accumulated by a :class:`DiskModel` run.
 
-    def __init__(self) -> None:
-        self.reads = 0
-        self.writes = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
-        self.busy_ms = 0.0
-        self.seeks = 0
-        self.seek_ms = 0.0
-        self.rotation_ms = 0.0
-        self.lost_rotations = 0
-        self.buffer_hits = 0
+    The historical attribute API (``stats.seeks``, ``stats.busy_ms``...)
+    is now a thin façade over registry-backed counters: each instance
+    owns a private :class:`~repro.obs.metrics.MetricsRegistry`, so
+    per-model semantics (``reset()``, per-run counts) are unchanged.
+    When process-wide telemetry is enabled (:mod:`repro.obs`), every
+    event is additionally mirrored into the global registry, where the
+    per-event histograms — seek time, rotational wait, request service
+    time — accumulate across all disk models of the run.
+    """
+
+    #: Field order of :meth:`to_dict`, matching the pre-telemetry layout.
+    FIELDS = (
+        "reads", "writes", "bytes_read", "bytes_written", "busy_ms",
+        "seeks", "seek_ms", "rotation_ms", "lost_rotations", "buffer_hits",
+    )
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        m = registry if registry is not None else MetricsRegistry()
+        self._m = m
+        self._counters = {name: m.counter(f"disk.{name}") for name in self.FIELDS}
+        g = obs.metrics_or_none()
+        self._g = g
+        if g is not None:
+            self._g_counters = {
+                name: g.counter(f"disk.{name}") for name in self.FIELDS
+            }
+            self._g_seek_hist = g.histogram("disk.seek_time_ms")
+            self._g_rot_hist = g.histogram("disk.rot_wait_ms")
+            self._g_service_hist = g.histogram("disk.service_time_ms")
+
+    # -- the historical counter-bag API, backed by the registry --------
+
+    reads = property(lambda self: self._counters["reads"].value)
+    writes = property(lambda self: self._counters["writes"].value)
+    bytes_read = property(lambda self: self._counters["bytes_read"].value)
+    bytes_written = property(lambda self: self._counters["bytes_written"].value)
+    busy_ms = property(lambda self: self._counters["busy_ms"].value)
+    seeks = property(lambda self: self._counters["seeks"].value)
+    seek_ms = property(lambda self: self._counters["seek_ms"].value)
+    rotation_ms = property(lambda self: self._counters["rotation_ms"].value)
+    lost_rotations = property(lambda self: self._counters["lost_rotations"].value)
+    buffer_hits = property(lambda self: self._counters["buffer_hits"].value)
 
     def record(self, kind: IOKind, nbytes: int, elapsed_ms: float) -> None:
         """Account one completed request."""
+        c = self._counters
         if kind is IOKind.READ:
-            self.reads += 1
-            self.bytes_read += nbytes
+            c["reads"].inc()
+            c["bytes_read"].inc(nbytes)
         else:
-            self.writes += 1
-            self.bytes_written += nbytes
-        self.busy_ms += elapsed_ms
+            c["writes"].inc()
+            c["bytes_written"].inc(nbytes)
+        c["busy_ms"].inc(elapsed_ms)
+        if self._g is not None:
+            gc = self._g_counters
+            if kind is IOKind.READ:
+                gc["reads"].inc()
+                gc["bytes_read"].inc(nbytes)
+            else:
+                gc["writes"].inc()
+                gc["bytes_written"].inc(nbytes)
+            gc["busy_ms"].inc(elapsed_ms)
+            self._g_service_hist.observe(elapsed_ms)
+
+    def note_seek(self, seek_ms: float) -> None:
+        """Account one non-zero seek of ``seek_ms`` milliseconds."""
+        self._counters["seeks"].inc()
+        self._counters["seek_ms"].inc(seek_ms)
+        if self._g is not None:
+            self._g_counters["seeks"].inc()
+            self._g_counters["seek_ms"].inc(seek_ms)
+            self._g_seek_hist.observe(seek_ms)
+
+    def note_rotation(self, wait_ms: float, lost: bool) -> None:
+        """Account one rotational wait (``lost`` = nearly a full turn)."""
+        self._counters["rotation_ms"].inc(wait_ms)
+        if lost:
+            self._counters["lost_rotations"].inc()
+        if self._g is not None:
+            self._g_counters["rotation_ms"].inc(wait_ms)
+            if lost:
+                self._g_counters["lost_rotations"].inc()
+            self._g_rot_hist.observe(wait_ms)
+
+    def note_buffer_hit(self) -> None:
+        """Account one track-buffer read hit."""
+        self._counters["buffer_hits"].inc()
+        if self._g is not None:
+            self._g_counters["buffer_hits"].inc()
+
+    def to_dict(self) -> "dict[str, float]":
+        """All counters as a flat, stably ordered plain dict."""
+        return {name: self._counters[name].value for name in self.FIELDS}
 
     def throughput_bytes_per_sec(self) -> float:
         """Aggregate throughput over busy time (both directions)."""
-        if self.busy_ms == 0:
+        busy_ms = self.busy_ms
+        if busy_ms == 0:
             return 0.0
-        return (self.bytes_read + self.bytes_written) / (self.busy_ms / 1000.0)
+        return (self.bytes_read + self.bytes_written) / (busy_ms / 1000.0)

@@ -2,13 +2,22 @@
 
 ``run_all`` executes every experiment at one preset and returns the
 rendered text blocks in paper order; the CLI and the EXPERIMENTS.md
-generator both sit on top of it.
+generator both sit on top of it.  ``iter_all`` is the streaming form:
+it yields each experiment's result (with its wall time) as soon as it
+completes, so the CLI can print progressively instead of sitting
+silent until the whole suite finishes.
+
+Every experiment runs inside a telemetry span (``experiment.<name>``)
+when :mod:`repro.obs` is enabled; its wall time is also published as a
+gauge so run manifests record where the time went.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+import time
+from typing import Callable, Dict, Iterator, List, Tuple
 
+from repro import obs
 from repro.experiments import (
     empty_vs_aged,
     lfs_compare,
@@ -48,18 +57,44 @@ def run_one(name: str, preset: str = "small") -> object:
         raise ValueError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(preset)
+    tr = obs.tracer_or_none()
+    if tr is None:
+        return runner(preset)
+    start = time.perf_counter()
+    with tr.span(f"experiment.{name}", preset=preset):
+        result = runner(preset)
+    obs.metrics().gauge(f"experiment.{name}.wall_s").set(
+        time.perf_counter() - start
+    )
+    return result
+
+
+def iter_all(preset: str = "small") -> Iterator[Tuple[str, object, float]]:
+    """Run the suite in paper order, yielding as each experiment ends.
+
+    Yields ``(name, result, wall_seconds)`` tuples; consumers that want
+    progressive output (the CLI) render each one on arrival.
+    """
+    for name in EXPERIMENTS:
+        start = time.perf_counter()
+        result = run_one(name, preset)
+        yield name, result, time.perf_counter() - start
 
 
 def run_all(preset: str = "small") -> List[Tuple[str, object]]:
     """Run every experiment at ``preset`` in paper order."""
-    return [(name, runner(preset)) for name, runner in EXPERIMENTS.items()]
+    return [(name, result) for name, result, _elapsed in iter_all(preset)]
+
+
+def experiment_header(name: str, preset: str) -> str:
+    """The banner printed above one experiment's rendered block."""
+    return f"{'=' * 78}\n{name} (preset: {preset})\n{'=' * 78}"
 
 
 def render_all(preset: str = "small") -> str:
     """Rendered text of the full suite, ready for the terminal."""
     blocks = []
     for name, result in run_all(preset):
-        blocks.append(f"{'=' * 78}\n{name} (preset: {preset})\n{'=' * 78}")
+        blocks.append(experiment_header(name, preset))
         blocks.append(result.render())  # type: ignore[attr-defined]
     return "\n\n".join(blocks)

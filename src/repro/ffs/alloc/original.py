@@ -15,10 +15,26 @@ declines to do anything at cluster boundaries.
 
 from __future__ import annotations
 
-from repro.ffs.alloc.policy import AllocPolicy
+from repro.ffs.alloc.policy import AllocPolicy, run_is_contiguous
+from repro.ffs.inode import Inode
 
 
 class OriginalPolicy(AllocPolicy):
     """One-block-at-a-time allocation with no reallocation step."""
 
     name = "ffs"
+
+    def window_complete(self, inode: Inode, start_lbn: int, end_lbn: int) -> None:
+        """Leave the window untouched; count what realloc would have seen.
+
+        With telemetry enabled the counters record how many completed
+        cluster windows the original policy passed up and how many of
+        those were already fragmented — the denominator for realloc's
+        relocation rate when both policies age in one run.
+        """
+        if self._m is None:
+            return
+        self._m.counter("alloc.ffs.windows_seen").inc()
+        if end_lbn - start_lbn >= 2 and end_lbn <= len(inode.blocks):
+            if not run_is_contiguous(inode.blocks[start_lbn:end_lbn]):
+                self._m.counter("alloc.ffs.windows_fragmented").inc()

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.errors import OutOfSpaceError
 from repro.ffs.cg import CylinderGroup
 from repro.ffs.inode import Inode
@@ -29,6 +30,16 @@ class AllocPolicy:
     def __init__(self, superblock: Superblock):
         self.sb = superblock
         self.params = superblock.params
+        # Telemetry handles, captured once; None is the disabled fast
+        # path (metric names carry the policy so aged-both runs stay
+        # distinguishable in one registry).
+        self._m = obs.metrics_or_none()
+        if self._m is not None:
+            prefix = f"alloc.{self.name}"
+            self._c_data = self._m.counter(f"{prefix}.data_blocks")
+            self._c_fallback = self._m.counter(f"{prefix}.fallbacks")
+            self._c_indirect = self._m.counter(f"{prefix}.indirect_blocks")
+            self._c_tails = self._m.counter(f"{prefix}.tail_allocs")
 
     # ------------------------------------------------------------------
     # Block-at-a-time allocation (shared by both policies)
@@ -50,7 +61,21 @@ class AllocPolicy:
             except OutOfSpaceError:
                 return None
 
-        return self.sb.hashalloc(inode.alloc_cg, attempt)
+        if self._m is None:
+            return self.sb.hashalloc(inode.alloc_cg, attempt)
+        groups_tried = 0
+
+        def counted(cg: CylinderGroup) -> Optional[int]:
+            nonlocal groups_tried
+            groups_tried += 1
+            return attempt(cg)
+
+        block = self.sb.hashalloc(inode.alloc_cg, counted)
+        self._c_data.inc()
+        if groups_tried > 1:
+            # The preferred group was full: ffs_hashalloc rehashed.
+            self._c_fallback.inc()
+        return block
 
     def alloc_indirect_block(self, inode: Inode) -> int:
         """Allocate an indirect block, switching the file's group first.
@@ -72,6 +97,8 @@ class AllocPolicy:
 
         block = self.sb.hashalloc(inode.alloc_cg, attempt)
         inode.alloc_cg = self.params.cg_of_block(block)
+        if self._m is not None:
+            self._c_indirect.inc()
         return block
 
     def alloc_tail_frags(
@@ -88,7 +115,10 @@ class AllocPolicy:
             except OutOfSpaceError:
                 return None
 
-        return self.sb.hashalloc(inode.alloc_cg, attempt)
+        frags = self.sb.hashalloc(inode.alloc_cg, attempt)
+        if self._m is not None:
+            self._c_tails.inc()
+        return frags
 
     # ------------------------------------------------------------------
     # Cluster hooks (the policies' point of difference)

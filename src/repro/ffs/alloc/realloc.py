@@ -42,6 +42,13 @@ class ReallocPolicy(AllocPolicy):
         self.relocations = 0
         #: Windows left fragmented because no free run was large enough.
         self.relocation_failures = 0
+        if self._m is not None:
+            prefix = self.name  # "realloc" / "realloc-eager"
+            self._c_attempts = self._m.counter(f"{prefix}.attempts")
+            self._c_moved = self._m.counter(f"{prefix}.relocations")
+            self._c_failed = self._m.counter(f"{prefix}.failures")
+            self._c_blocks = self._m.counter(f"{prefix}.blocks_moved")
+            self._h_distance = self._m.histogram(f"{prefix}.distance_blocks")
 
     def window_complete(self, inode: Inode, start_lbn: int, end_lbn: int) -> None:
         """Reallocate a completed cluster window if it is fragmented.
@@ -95,6 +102,8 @@ class ReallocPolicy(AllocPolicy):
         )
         cg = self.sb.cgs[cg_index]
         self.relocation_attempts += 1
+        if self._m is not None:
+            self._c_attempts.inc()
         # Prefer a run with room for the data that follows (subsequent
         # windows or the fragment tail): the follow-on allocations then
         # hit their exact preferences and the file keeps extending
@@ -116,8 +125,16 @@ class ReallocPolicy(AllocPolicy):
                 break
         if target is None:
             self.relocation_failures += 1
+            if self._m is not None:
+                self._c_failed.inc()
             return  # no adequate free run; keep the fragmented layout
         self.relocations += 1
+        if self._m is not None:
+            self._c_moved.inc()
+            self._c_blocks.inc(length)
+            # How far the cluster travelled: the gathered blocks moved
+            # from the window's first address to the target run.
+            self._h_distance.observe(abs(target - window[0]))
         cg.alloc_cluster(target, length)
         for old in window:
             self.sb.cg_of_block(old).free_block(old)

@@ -1,0 +1,151 @@
+"""``repro.obs`` — the telemetry layer of the reproduction.
+
+Three primitives, one switch:
+
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  histograms in a name-keyed registry;
+* **traces** (:mod:`repro.obs.trace`) — hierarchical spans with
+  wall-clock and simulated-clock timing;
+* **manifests** (:mod:`repro.obs.manifest` / :mod:`repro.obs.export`) —
+  one JSON artifact per run bundling config, environment, and metrics.
+
+Telemetry is **disabled by default** and the disabled path is a no-op
+fast path: instrumented code asks :func:`metrics_or_none` /
+:func:`tracer_or_none` once (usually at construction) and skips its
+telemetry blocks entirely when they return ``None``, so the simulator's
+results and tier-1 benchmark numbers are bit-identical either way.
+
+The registry/tracer pair is process-wide but *injectable*: tests and
+embedders can pass their own instances to :func:`enable` (or use the
+:func:`session` context manager) instead of sharing the globals.
+
+Typical instrumentation::
+
+    from repro import obs
+
+    class Replayer:
+        def __init__(self):
+            self._m = obs.metrics_or_none()
+
+        def apply(self, op):
+            ...
+            if self._m is not None:
+                self._m.counter("replay.ops").inc()
+
+Typical capture (what the CLI does for ``--metrics``/``--trace``)::
+
+    with obs.session() as (registry, tracer):
+        with tracer.span("experiment.fig1", preset="tiny"):
+            run_experiment()
+        snapshot = registry.snapshot()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+from repro.obs.manifest import RunManifest, environment_info
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RunManifest",
+    "environment_info",
+    "enabled",
+    "enable",
+    "disable",
+    "session",
+    "metrics",
+    "tracer",
+    "metrics_or_none",
+    "tracer_or_none",
+]
+
+_registry: Optional[MetricsRegistry] = None
+_tracer: Optional[Tracer] = None
+
+
+def enabled() -> bool:
+    """Whether a telemetry session is active in this process."""
+    return _registry is not None
+
+
+def enable(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Tuple[MetricsRegistry, Tracer]:
+    """Activate telemetry; returns the active (registry, tracer) pair.
+
+    Objects constructed *after* this call pick up the active registry;
+    objects constructed before keep their no-op handles.  Passing
+    explicit instances injects them (tests do this); otherwise fresh
+    ones are created.
+    """
+    global _registry, _tracer
+    _registry = registry if registry is not None else MetricsRegistry()
+    _tracer = tracer if tracer is not None else Tracer()
+    return _registry, _tracer
+
+
+def disable() -> None:
+    """Deactivate telemetry; instrumented code reverts to the no-op path."""
+    global _registry, _tracer
+    _registry = None
+    _tracer = None
+
+
+@contextmanager
+def session(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+):
+    """Enable telemetry for a ``with`` block, restoring the prior state."""
+    prior = (_registry, _tracer)
+    pair = enable(registry, tracer)
+    try:
+        yield pair
+    finally:
+        _restore(prior)
+
+
+def _restore(prior: Tuple[Optional[MetricsRegistry], Optional[Tracer]]) -> None:
+    global _registry, _tracer
+    _registry, _tracer = prior
+
+
+def metrics() -> "MetricsRegistry | NullRegistry":
+    """The active registry, or the shared null registry when disabled."""
+    return _registry if _registry is not None else NULL_REGISTRY
+
+
+def tracer() -> "Tracer | NullTracer":
+    """The active tracer, or the shared null tracer when disabled."""
+    return _tracer if _tracer is not None else NULL_TRACER
+
+
+def metrics_or_none() -> Optional[MetricsRegistry]:
+    """The active registry, or None — the hot-path guard form."""
+    return _registry
+
+
+def tracer_or_none() -> Optional[Tracer]:
+    """The active tracer, or None — the hot-path guard form."""
+    return _tracer

@@ -1,0 +1,131 @@
+"""Serialisation of telemetry artifacts: JSON, JSONL, CSV, and tables.
+
+One experiment run produces at most two files:
+
+* a **manifest** (``--metrics FILE``) — a single JSON document bundling
+  the run's configuration, environment, and final metrics snapshot
+  (see :mod:`repro.obs.manifest`);
+* a **trace** (``--trace FILE``) — JSONL, one completed span per line.
+
+This module owns the encoding so every producer (CLI, tests, examples)
+emits byte-compatible artifacts, plus the inverse direction: rendering a
+captured metrics snapshot back into the paper-style text tables that
+``repro-ffs stats`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, TextIO
+
+__all__ = [
+    "write_json",
+    "write_jsonl",
+    "metrics_to_csv",
+    "render_metrics",
+]
+
+
+def write_json(fp: TextIO, obj: object) -> None:
+    """Write ``obj`` as stable, human-diffable JSON."""
+    json.dump(obj, fp, indent=2, sort_keys=True)
+    fp.write("\n")
+
+
+def write_jsonl(fp: TextIO, rows: Iterable[Dict[str, object]]) -> int:
+    """Write one compact JSON object per line; returns the row count."""
+    count = 0
+    for row in rows:
+        fp.write(json.dumps(row, separators=(",", ":"), sort_keys=True))
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def metrics_to_csv(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Flatten a registry snapshot to ``name,type,field,value`` CSV.
+
+    Scalars (counters/gauges) produce one row; histograms produce one
+    row per summary field and one per non-empty bucket.
+    """
+    lines = ["name,type,field,value"]
+    for name, data in snapshot.items():
+        kind = data["type"]
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name},{kind},value,{data['value']}")
+            continue
+        for field in ("count", "sum", "min", "max", "mean"):
+            lines.append(f"{name},{kind},{field},{data[field]}")
+        for bound, count in data["buckets"]:  # type: ignore[union-attr]
+            lines.append(f"{name},{kind},le_{bound},{count}")
+    return "\n".join(lines) + "\n"
+
+
+def render_metrics(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Render a metrics snapshot as aligned text tables.
+
+    Counters and gauges share one two-column table; histograms get a
+    summary table with count/mean/min/max and the approximate median.
+    """
+    from repro.analysis.report import render_table
+
+    blocks: List[str] = []
+    scalars = [
+        (name, _fmt_value(data["value"]), data["type"])
+        for name, data in snapshot.items()
+        if data["type"] in ("counter", "gauge")
+    ]
+    if scalars:
+        blocks.append(
+            render_table(
+                ["metric", "value", "kind"], scalars, title="Counters and gauges"
+            )
+        )
+    histograms = [
+        (
+            name,
+            str(data["count"]),
+            _fmt_value(data["mean"]),
+            _fmt_value(data["min"]),
+            _fmt_value(data["max"]),
+            _fmt_value(_bucket_median(data)),
+        )
+        for name, data in snapshot.items()
+        if data["type"] == "histogram"
+    ]
+    if histograms:
+        blocks.append(
+            render_table(
+                ["histogram", "count", "mean", "min", "max", "~p50"],
+                histograms,
+                title="Distributions",
+            )
+        )
+    if not blocks:
+        return "(no metrics captured)"
+    return "\n\n".join(blocks)
+
+
+def _bucket_median(data: Dict[str, object]) -> object:
+    """Approximate median from the stored cumulative buckets."""
+    count = data["count"]
+    if not count:
+        return None
+    seen = 0
+    for bound, n in data["buckets"]:  # type: ignore[union-attr]
+        seen += n
+        if seen * 2 >= count:  # type: ignore[operator]
+            return bound
+    return data["max"]
+
+
+def _fmt_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        if value and abs(value) < 0.01:
+            return f"{value:.4g}"
+        return f"{value:,.2f}".rstrip("0").rstrip(".")
+    return f"{value:,}"

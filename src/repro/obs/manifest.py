@@ -1,0 +1,95 @@
+"""Run manifests: one JSON artifact describing one experiment run.
+
+A manifest answers, months later, the questions a reviewer asks about
+any number in the paper reproduction: *what* ran (command, arguments,
+preset), *where* (Python version, platform), *how long* (wall time),
+and *what it observed* (the full metrics snapshot).  ``repro-ffs
+... --metrics FILE`` writes one; ``repro-ffs stats FILE`` renders it
+back as text tables.
+
+The schema is versioned so later sessions can evolve it without
+breaking stored artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, TextIO
+
+SCHEMA = "repro.obs.manifest/v1"
+
+__all__ = ["RunManifest", "environment_info", "SCHEMA"]
+
+
+def environment_info() -> Dict[str, str]:
+    """The runtime environment fields recorded in every manifest."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """Config + environment + metrics for one run."""
+
+    command: str
+    #: Structured invocation parameters (preset, policy, flags...).
+    config: Dict[str, object] = field(default_factory=dict)
+    environment: Dict[str, str] = field(default_factory=environment_info)
+    #: Seconds since the epoch at run start (wall clock).
+    started_at: float = field(default_factory=time.time)
+    wall_seconds: Optional[float] = None
+    #: A :meth:`repro.obs.metrics.MetricsRegistry.snapshot`.
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    schema: str = SCHEMA
+
+    def finish(self, wall_seconds: float, metrics: Dict[str, Dict[str, object]]) -> None:
+        """Seal the manifest with the run's duration and final metrics."""
+        self.wall_seconds = wall_seconds
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    # (De)serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "command": self.command,
+            "config": self.config,
+            "environment": self.environment,
+            "started_at": self.started_at,
+            "wall_seconds": self.wall_seconds,
+            "metrics": self.metrics,
+        }
+
+    def dump(self, fp: TextIO) -> None:
+        from repro.obs.export import write_json
+
+        write_json(fp, self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunManifest":
+        schema = data.get("schema", SCHEMA)
+        if not str(schema).startswith("repro.obs.manifest/"):
+            raise ValueError(f"not a run manifest (schema {schema!r})")
+        return cls(
+            command=str(data.get("command", "")),
+            config=dict(data.get("config", {})),  # type: ignore[arg-type]
+            environment=dict(data.get("environment", {})),  # type: ignore[arg-type]
+            started_at=float(data.get("started_at", 0.0)),  # type: ignore[arg-type]
+            wall_seconds=data.get("wall_seconds"),  # type: ignore[arg-type]
+            metrics=dict(data.get("metrics", {})),  # type: ignore[arg-type]
+            schema=str(schema),
+        )
+
+    @classmethod
+    def load(cls, fp: TextIO) -> "RunManifest":
+        return cls.from_dict(json.load(fp))

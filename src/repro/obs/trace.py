@@ -1,0 +1,202 @@
+"""Hierarchical spans with wall-clock and simulated-clock timing.
+
+A :class:`Span` covers one unit of work — a CLI invocation, one
+experiment, one simulated day of aging replay.  Spans nest: the tracer
+keeps a stack, so a span begun while another is open records that span
+as its parent, and the trace reconstructs the tree.
+
+Two clocks are recorded per span:
+
+* **wall clock** (``time.perf_counter``) — how long the *reproduction*
+  took, for finding slow experiments;
+* **simulated clock** — optional, in whatever unit the instrumented
+  layer uses (milliseconds for the disk model, days for aging replay).
+  Callers pass it explicitly at begin/end; the tracer never guesses.
+
+Traces export as JSONL (one span per line, in completion order) via
+:meth:`Tracer.write_jsonl`, matching the exporters in
+:mod:`repro.obs.export`.  A shared :data:`NULL_TRACER` makes every
+operation a no-op when telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional, TextIO
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed, attributed unit of work."""
+
+    __slots__ = ("span_id", "parent_id", "name", "wall_start", "wall_end",
+                 "sim_start", "sim_end", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        wall_start: float,
+        sim_start: Optional[float] = None,
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.wall_start = wall_start
+        self.wall_end: Optional[float] = None
+        self.sim_start = sim_start
+        self.sim_end: Optional[float] = None
+        self.attrs: Dict[str, object] = {}
+
+    @property
+    def wall_elapsed(self) -> Optional[float]:
+        """Wall-clock duration in seconds, or None while open."""
+        if self.wall_end is None:
+            return None
+        return self.wall_end - self.wall_start
+
+    @property
+    def sim_elapsed(self) -> Optional[float]:
+        """Simulated-clock duration, when both endpoints were recorded."""
+        if self.sim_start is None or self.sim_end is None:
+            return None
+        return self.sim_end - self.sim_start
+
+    def to_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "wall_start_s": self.wall_start,
+            "wall_elapsed_s": self.wall_elapsed,
+        }
+        if self.sim_start is not None:
+            row["sim_start"] = self.sim_start
+        if self.sim_elapsed is not None:
+            row["sim_elapsed"] = self.sim_elapsed
+        if self.attrs:
+            row["attrs"] = self.attrs
+        return row
+
+
+class Tracer:
+    """Collects spans for one process-wide telemetry session."""
+
+    def __init__(self) -> None:
+        self._next_id = 1
+        self._stack: List[Span] = []
+        #: Completed spans, in completion order.
+        self.finished: List[Span] = []
+
+    # ------------------------------------------------------------------
+    # Explicit begin/end — for spans that straddle loop iterations
+    # ------------------------------------------------------------------
+
+    def begin(
+        self, name: str, sim: Optional[float] = None, **attrs: object
+    ) -> Span:
+        """Open a span as a child of the innermost open span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self._next_id, parent, name, time.perf_counter(), sim)
+        self._next_id += 1
+        if attrs:
+            span.attrs.update(attrs)
+        self._stack.append(span)
+        return span
+
+    def end(
+        self, span: Span, sim: Optional[float] = None, **attrs: object
+    ) -> Span:
+        """Close ``span`` (and any still-open descendants)."""
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            self._finish(top, None)
+        else:
+            raise ValueError(f"span {span.name!r} is not open")
+        if attrs:
+            span.attrs.update(attrs)
+        self._finish(span, sim)
+        return span
+
+    def _finish(self, span: Span, sim: Optional[float]) -> None:
+        span.wall_end = time.perf_counter()
+        if sim is not None:
+            span.sim_end = sim
+        self.finished.append(span)
+
+    # ------------------------------------------------------------------
+    # Context-manager convenience
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, sim: Optional[float] = None, **attrs: object):
+        """``with tracer.span("experiment.fig1", preset="tiny") as s:``"""
+        opened = self.begin(name, sim=sim, **attrs)
+        try:
+            yield opened
+        finally:
+            if opened.wall_end is None:
+                self.end(opened)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Completed spans as plain dicts, in completion order."""
+        return [span.to_dict() for span in self.finished]
+
+    def write_jsonl(self, fp: TextIO) -> int:
+        """Write one JSON object per completed span; returns span count."""
+        from repro.obs.export import write_jsonl
+
+        return write_jsonl(fp, self.to_rows())
+
+
+class _NullSpan:
+    """Shared do-nothing span; also its own context manager."""
+
+    __slots__ = ()
+    span_id = parent_id = None
+    name = ""
+    wall_start = wall_end = sim_start = sim_end = None
+    wall_elapsed = sim_elapsed = None
+    attrs: Dict[str, object] = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer façade whose every operation is a no-op."""
+
+    finished: List[Span] = []
+
+    def begin(self, name: str, sim=None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def end(self, span, sim=None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span(self, name: str, sim=None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return []
+
+    def write_jsonl(self, fp: TextIO) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()

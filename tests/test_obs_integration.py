@@ -1,0 +1,201 @@
+"""Telemetry instrumentation tests: disk model, allocators, replay, CLI.
+
+The load-bearing guarantee is at the top: with telemetry disabled
+(the default), the instrumented code paths must leave every
+``DiskModel.access`` result — and therefore every benchmark number —
+bit-identical to the seed implementation.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.aging.generator import AgingConfig, build_workloads
+from repro.aging.replay import age_file_system
+from repro.analysis.report import render_disk_stats
+from repro.cli import main
+from repro.disk.model import DiskModel, DiskStats, IOKind
+from repro.ffs.params import scaled_params
+from repro.units import KB, MB
+
+
+def _exercise(model):
+    """A mixed request sequence covering every stat-recording path."""
+    elapsed = []
+    elapsed.append(model.access(IOKind.WRITE, 0, 64 * KB))
+    elapsed.append(model.access(IOKind.WRITE, 64 * KB, 64 * KB))  # lost rotation
+    elapsed.append(model.access(IOKind.READ, 0, 64 * KB))
+    elapsed.append(model.access(IOKind.READ, 64 * KB, 64 * KB))   # buffer path
+    elapsed.append(model.access(IOKind.READ, 20 * MB, 8 * KB))    # long seek
+    model.idle(5.0)
+    elapsed.append(model.access(IOKind.WRITE, 40 * MB, 8 * KB))
+    return elapsed
+
+
+class TestNoopPathBitIdentical:
+    """The regression the tentpole promises: telemetry off = seed behaviour."""
+
+    def test_access_results_identical_disabled_vs_enabled(self):
+        assert not obs.enabled()
+        disabled = _exercise(DiskModel(initial_angle=0.3))
+        with obs.session():
+            enabled = _exercise(DiskModel(initial_angle=0.3))
+        # Bit-identical, not approximately equal: the instrumentation
+        # must never touch the timing arithmetic.
+        assert disabled == enabled
+
+    def test_stats_identical_disabled_vs_enabled(self):
+        model_off = DiskModel(initial_angle=0.3)
+        _exercise(model_off)
+        with obs.session():
+            model_on = DiskModel(initial_angle=0.3)
+            _exercise(model_on)
+        assert model_off.stats.to_dict() == model_on.stats.to_dict()
+
+    def test_replay_identical_disabled_vs_enabled(self):
+        params = scaled_params(24 * MB)
+        workloads = build_workloads(AgingConfig(params=params, days=3, seed=7))
+        plain = age_file_system(workloads.reconstructed, params=params,
+                                policy="realloc")
+        with obs.session():
+            traced = age_file_system(workloads.reconstructed, params=params,
+                                     policy="realloc")
+        assert plain.timeline.final_score() == traced.timeline.final_score()
+        assert plain.creates == traced.creates
+        assert [i.blocks for i in plain.fs.files()] == [
+            i.blocks for i in traced.fs.files()
+        ]
+
+
+class TestDiskStatsFacade:
+    def test_to_dict_has_all_fields_in_order(self):
+        model = DiskModel()
+        _exercise(model)
+        d = model.stats.to_dict()
+        assert tuple(d) == DiskStats.FIELDS
+        assert d["reads"] == model.stats.reads == 3
+        assert d["writes"] == model.stats.writes == 3
+        assert d["busy_ms"] == pytest.approx(model.stats.busy_ms)
+
+    def test_render_disk_stats_table(self):
+        model = DiskModel()
+        _exercise(model)
+        text = render_disk_stats(model.stats.to_dict())
+        assert "requests read" in text
+        assert "lost rotations" in text
+        assert "aggregate throughput" in text
+
+    def test_global_mirror_aggregates_across_models(self):
+        with obs.session() as (registry, _tracer):
+            _exercise(DiskModel())
+            _exercise(DiskModel())
+        snap = registry.snapshot()
+        assert snap["disk.reads"]["value"] == 6
+        assert snap["disk.service_time_ms"]["count"] == 12
+        assert snap["disk.seek_time_ms"]["count"] >= 2
+        assert snap["disk.rot_wait_ms"]["count"] >= 2
+
+    def test_per_model_stats_not_polluted_by_globals(self):
+        with obs.session():
+            first = DiskModel()
+            _exercise(first)
+            second = DiskModel()
+            assert second.stats.reads == 0
+            first.reset()
+            assert first.stats.writes == 0
+
+
+class TestReplayAndAllocatorTelemetry:
+    @pytest.fixture(scope="class")
+    def captured(self):
+        params = scaled_params(24 * MB)
+        workloads = build_workloads(AgingConfig(params=params, days=3, seed=7))
+        with obs.session() as (registry, tracer):
+            age_file_system(workloads.reconstructed, params=params,
+                            policy="realloc", label="aged")
+        return registry.snapshot(), tracer.to_rows()
+
+    def test_alloc_counters(self, captured):
+        snapshot, _rows = captured
+        assert snapshot["alloc.realloc.data_blocks"]["value"] > 0
+        assert snapshot["alloc.realloc.tail_allocs"]["value"] > 0
+        assert "alloc.realloc.fallbacks" in snapshot
+
+    def test_realloc_counters_and_distance_histogram(self, captured):
+        snapshot, _rows = captured
+        attempts = snapshot["realloc.attempts"]["value"]
+        moved = snapshot["realloc.relocations"]["value"]
+        failed = snapshot["realloc.failures"]["value"]
+        assert attempts == moved + failed
+        assert moved > 0
+        assert snapshot["realloc.distance_blocks"]["count"] == moved
+        assert snapshot["realloc.blocks_moved"]["value"] >= 2 * moved
+
+    def test_replay_counters(self, captured):
+        snapshot, _rows = captured
+        assert snapshot["replay.ops"]["value"] > 0
+        assert snapshot["replay.creates"]["value"] > 0
+        assert 0.0 < snapshot["replay.aged.final_score"]["value"] <= 1.0
+
+    def test_per_day_spans(self, captured):
+        _snapshot, rows = captured
+        days = [r for r in rows if r["name"] == "replay.day"]
+        assert len(days) >= 3
+        assert [d["attrs"]["day"] for d in days] == list(range(len(days)))
+        assert all(d["sim_elapsed"] == 1 for d in days)
+        assert sum(d["attrs"]["ops"] for d in days) == \
+            snapshot_value(_snapshot, "replay.ops")
+
+
+def snapshot_value(snapshot, name):
+    return snapshot[name]["value"]
+
+
+class TestCliTelemetry:
+    def test_metrics_and_trace_files(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.jsonl"
+        assert main(["experiment", "fig1", "--preset", "tiny",
+                     "--metrics", str(metrics), "--trace", str(trace)]) == 0
+        assert not obs.enabled()  # session restored
+        manifest = json.loads(metrics.read_text())
+        assert manifest["schema"].startswith("repro.obs.manifest/")
+        assert manifest["command"] == "experiment"
+        assert manifest["config"]["name"] == "fig1"
+        assert manifest["config"]["preset"] == "tiny"
+        assert manifest["wall_seconds"] > 0
+        rows = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert rows  # at least the root span
+        root = [r for r in rows if r["name"] == "cli.experiment"]
+        assert len(root) == 1 and root[0]["parent_id"] is None
+
+    def test_stats_renders_manifest(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        main(["experiment", "fig1", "--preset", "tiny",
+              "--metrics", str(metrics)])
+        capsys.readouterr()
+        assert main(["stats", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "run: repro-ffs experiment" in out
+        assert "preset=tiny" in out
+
+    def test_freespace_json(self, capsys):
+        assert main(["freespace", "--preset", "tiny", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["policy"] == "ffs"
+        assert data["stats"]["free_blocks"] > 0
+        assert all(len(pair) == 2 for pair in data["run_length_histogram"])
+
+    def test_experiment_all_streams_progress(self, capsys):
+        assert main(["experiment", "all", "--preset", "tiny"]) == 0
+        captured = capsys.readouterr()
+        assert "[obs] table1:" in captured.err
+        assert "[obs] lfs:" in captured.err
+        assert "Figure 2" in captured.out
+
+    def test_stats_rejects_non_manifest(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"schema": "other/v9"}')
+        with pytest.raises(ValueError):
+            main(["stats", str(bogus)])

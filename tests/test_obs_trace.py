@@ -1,0 +1,113 @@
+"""Unit tests for span tracing and the manifest round-trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.manifest import RunManifest, environment_info
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class TestSpanNesting:
+    def test_child_records_parent(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        inner, outer = tr.finished  # completion order: inner first
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self):
+        tr = Tracer()
+        with tr.span("root"):
+            with tr.span("a"):
+                pass
+            with tr.span("b"):
+                pass
+        spans = {s.name: s for s in tr.finished}
+        assert spans["a"].parent_id == spans["root"].span_id
+        assert spans["b"].parent_id == spans["root"].span_id
+        assert spans["a"].span_id != spans["b"].span_id
+
+    def test_begin_end_across_iterations(self):
+        tr = Tracer()
+        spans = []
+        for day in range(3):
+            span = tr.begin("replay.day", sim=day, day=day)
+            tr.end(span, sim=day + 1)
+            spans.append(span)
+        assert [s.sim_elapsed for s in spans] == [1, 1, 1]
+        assert all(s.wall_elapsed >= 0 for s in spans)
+
+    def test_end_closes_open_descendants(self):
+        tr = Tracer()
+        outer = tr.begin("outer")
+        tr.begin("inner")  # never explicitly ended
+        tr.end(outer)
+        assert {s.name for s in tr.finished} == {"outer", "inner"}
+
+    def test_ending_unopened_span_rejected(self):
+        tr = Tracer()
+        span = tr.begin("a")
+        tr.end(span)
+        with pytest.raises(ValueError):
+            tr.end(span)
+
+    def test_exception_still_closes_span(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("doomed"):
+                raise RuntimeError("boom")
+        assert tr.finished[0].wall_end is not None
+
+
+class TestTraceExport:
+    def test_jsonl_round_trip(self):
+        tr = Tracer()
+        with tr.span("outer", preset="tiny"):
+            with tr.span("inner", sim=0.0):
+                pass
+        buf = io.StringIO()
+        assert tr.write_jsonl(buf) == 2
+        rows = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert rows[0]["name"] == "inner"
+        assert rows[1]["attrs"] == {"preset": "tiny"}
+        assert rows[1]["wall_elapsed_s"] >= 0
+
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("x") as span:
+            pass
+        NULL_TRACER.end(NULL_TRACER.begin("y"))
+        assert span.wall_elapsed is None
+        assert NULL_TRACER.to_rows() == []
+        assert NULL_TRACER.write_jsonl(io.StringIO()) == 0
+
+
+class TestManifest:
+    def test_json_round_trip(self):
+        manifest = RunManifest(
+            command="experiment",
+            config={"name": "fig1", "preset": "tiny"},
+        )
+        manifest.finish(1.25, {"disk.reads": {"type": "counter", "value": 7}})
+        buf = io.StringIO()
+        manifest.dump(buf)
+        buf.seek(0)
+        loaded = RunManifest.load(buf)
+        assert loaded.command == "experiment"
+        assert loaded.config == manifest.config
+        assert loaded.wall_seconds == 1.25
+        assert loaded.metrics == manifest.metrics
+        assert loaded.environment == manifest.environment
+        assert loaded.schema == manifest.schema
+
+    def test_environment_fields(self):
+        env = environment_info()
+        assert set(env) == {"python", "implementation", "platform", "machine"}
+
+    def test_non_manifest_rejected(self):
+        with pytest.raises(ValueError):
+            RunManifest.from_dict({"schema": "something/else"})
