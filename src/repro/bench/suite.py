@@ -1,0 +1,108 @@
+"""Suite-level benchmark: cold vs. warm vs. parallel ``experiment all``.
+
+Unlike :mod:`repro.bench.sequential` (which benchmarks the *simulated*
+disk), this measures the reproduction itself: how long the experiment
+suite takes cold, how much the persistent artifact cache buys on a
+warm rerun, and what ``--jobs`` adds on top.  The result is a JSON
+document (``BENCH_<date>.json`` by default) so speedups are recorded,
+comparable across commits, and checkable in CI.
+
+Three passes over the same cache directory:
+
+1. ``cold-serial`` — empty cache (a temp directory unless one is
+   given), every aging replayed from scratch;
+2. ``warm-serial`` — in-process memos dropped first, so everything the
+   persistent cache can serve must come from disk;
+3. ``warm-parallel`` — same, fanned across ``--jobs`` workers
+   (skipped when ``jobs <= 1``).
+
+The in-process memos are cleared between passes; without that, pass 2
+would measure Python dict lookups, not the cache.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from repro import cache
+
+SCHEMA = "repro.bench/v1"
+
+
+def _one_pass(name: str, preset: str, jobs: int) -> Dict[str, object]:
+    """Run ``experiment all`` once; returns the pass record."""
+    from repro.experiments import config
+    from repro.experiments.runner import iter_all_rendered
+
+    config.clear_caches()
+    walls: Dict[str, float] = {}
+    start = time.perf_counter()
+    for exp_name, _text, wall in iter_all_rendered(preset, jobs=jobs):
+        walls[exp_name] = round(wall, 4)
+    total = time.perf_counter() - start
+    print(f"[bench] {name}: {total:.1f}s", file=sys.stderr, flush=True)
+    return {
+        "name": name,
+        "jobs": jobs,
+        "experiments": walls,
+        "total_s": round(total, 4),
+    }
+
+
+def run_bench(
+    preset: str = "small",
+    jobs: int = 4,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the cold/warm/parallel passes; returns the report document.
+
+    ``cache_dir=None`` benchmarks against a fresh temp directory so the
+    cold pass is honestly cold; pass an existing directory to measure
+    against real cache state instead (the cold pass is then only as
+    cold as that directory).
+    """
+    directory = cache_dir if cache_dir is not None else tempfile.mkdtemp(
+        prefix="repro-bench-cache-"
+    )
+    cache.configure(enabled=True, directory=directory)
+    passes: List[Dict[str, object]] = [
+        _one_pass("cold-serial", preset, jobs=1),
+        _one_pass("warm-serial", preset, jobs=1),
+    ]
+    if jobs > 1:
+        passes.append(_one_pass("warm-parallel", preset, jobs=jobs))
+    cold = float(passes[0]["total_s"])  # type: ignore[arg-type]
+    report: Dict[str, object] = {
+        "schema": SCHEMA,
+        "date": time.strftime("%Y-%m-%d"),
+        "preset": preset,
+        "jobs": jobs,
+        # --jobs can only beat serial with cores to spread across;
+        # recorded so the numbers are interpretable later.
+        "cpu_count": os.cpu_count(),
+        "cache_dir": directory,
+        "passes": passes,
+        "speedups": {
+            p["name"]: round(cold / float(p["total_s"]), 2)  # type: ignore[arg-type]
+            for p in passes[1:]
+            if float(p["total_s"]) > 0  # type: ignore[arg-type]
+        },
+    }
+    return report
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human summary of a bench report (the JSON stays the record)."""
+    lines = [
+        f"bench: preset={report['preset']} jobs={report['jobs']} "
+        f"cpus={report.get('cpu_count', '?')} ({report['date']})"
+    ]
+    for p in report["passes"]:  # type: ignore[union-attr]
+        lines.append(f"  {p['name']:<14} {p['total_s']:>8.1f}s")
+    for name, speedup in report.get("speedups", {}).items():  # type: ignore[union-attr]
+        lines.append(f"  {name} speedup over cold-serial: {speedup:.2f}x")
+    return "\n".join(lines)

@@ -12,12 +12,19 @@ Subcommands:
   fragmentation statistics (``--json`` for machine-readable output).
 * ``stats``      — render a captured ``--metrics`` manifest as
   paper-style tables.
+* ``cache``      — inspect (``ls``) or drop (``clear``) the persistent
+  artifact cache that makes warm reruns fast.
+* ``bench``      — time the suite cold/warm/parallel and record the
+  result as ``BENCH_<date>.json``.
 
 Every subcommand takes ``--preset tiny|small|paper`` (default small)
 plus the telemetry pair ``--metrics FILE`` (write a JSON run manifest:
 config + environment + metrics) and ``--trace FILE`` (write the span
 trace as JSONL).  Telemetry is off — a no-op — unless one of the two
-flags is given.
+flags is given.  Subcommands that age file systems also take
+``--no-cache`` / ``--cache-dir DIR`` to control the persistent
+artifact cache (see :mod:`repro.cache`), and ``experiment all`` takes
+``--jobs N`` to fan the suite across worker processes.
 """
 
 from __future__ import annotations
@@ -27,15 +34,16 @@ import sys
 import time
 from typing import List, Optional
 
-from repro import obs
+from repro import cache, obs
 from repro.analysis.freespace import free_cluster_histogram, free_space_stats
 from repro.analysis.report import render_disk_stats, render_table
 from repro.experiments.config import PRESETS, aged, artifacts, get_preset
 from repro.experiments.runner import (
     EXPERIMENTS,
     experiment_header,
-    iter_all,
-    run_one,
+    iter_all_rendered,
+    run_one_timed,
+    slowest_summary,
 )
 from repro.units import MB, fmt_size
 
@@ -47,6 +55,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
+    cache.configure(
+        enabled=False if getattr(args, "no_cache", False) else None,
+        directory=getattr(args, "cache_dir", None),
+    )
     if not (getattr(args, "metrics", None) or getattr(args, "trace", None)):
         return args.handler(args)
     return _run_with_telemetry(args)
@@ -144,6 +156,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the experiment's numeric series as CSV "
         "(figures with series only)",
     )
+    p_exp.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run `all` across N worker processes (default: 1, serial); "
+        "output is byte-identical to serial",
+    )
+    p_exp.add_argument(
+        "--slowest", action="store_true",
+        help="after `all`, print the slowest experiments to stderr",
+    )
     p_exp.set_defaults(handler=_cmd_experiment)
 
     p_free = sub.add_parser(
@@ -184,9 +205,36 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_preset(p_prof)
     p_prof.set_defaults(handler=_cmd_profiles)
 
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache"
+    )
+    p_cache.add_argument(
+        "action", choices=["ls", "clear"],
+        help="ls: list entries; clear: remove them all",
+    )
+    p_cache.set_defaults(handler=_cmd_cache)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time `experiment all` cold/warm/parallel; write BENCH_<date>.json",
+    )
+    _add_preset(p_bench)
+    p_bench.add_argument(
+        "--jobs", type=int, default=4, metavar="N",
+        help="workers for the parallel pass (default: 4; <=1 skips it)",
+    )
+    p_bench.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="report path (default: BENCH_<date>.json)",
+    )
+    p_bench.set_defaults(handler=_cmd_bench)
+
     for sub_parser in (p_age, p_fsck, p_wl, p_exp, p_free, p_stats,
-                       p_abl, p_prof):
+                       p_abl, p_prof, p_cache, p_bench):
         _add_obs(sub_parser)
+    for sub_parser in (p_age, p_wl, p_exp, p_free, p_abl, p_prof,
+                       p_cache, p_bench):
+        _add_cache_flags(sub_parser)
     return parser
 
 
@@ -206,6 +254,18 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", metavar="FILE", default=None,
         help="capture telemetry and write the span trace as JSONL",
+    )
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the persistent artifact cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=f"artifact cache location (default: {cache.DEFAULT_DIR}/, "
+        f"or ${cache.ENV_DIR})",
     )
 
 
@@ -304,19 +364,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.name == "all":
         # Stream each block as its experiment completes (the suite takes
         # minutes at larger presets); stdout stays byte-identical to the
-        # old batch rendering, progress notes go to stderr.
+        # old batch rendering — and to the serial rendering when --jobs
+        # fans the suite across workers — progress notes go to stderr.
+        jobs = max(1, getattr(args, "jobs", 1))
+        times = {}
         first = True
-        for name, result, elapsed in iter_all(args.preset):
+        for name, text, elapsed in iter_all_rendered(args.preset, jobs=jobs):
             if not first:
                 print(flush=True)
             print(experiment_header(name, args.preset), flush=True)
             print(flush=True)
-            print(result.render(), flush=True)  # type: ignore[attr-defined]
+            print(text, flush=True)
             first = False
+            times[name] = elapsed
             print(f"[obs] {name}: {elapsed:.1f}s", file=sys.stderr, flush=True)
+        if getattr(args, "slowest", False):
+            print(f"[obs] {slowest_summary(times)}", file=sys.stderr, flush=True)
         return 0
-    result = run_one(args.name, args.preset)
+    result, elapsed = run_one_timed(args.name, args.preset)
     print(result.render())  # type: ignore[attr-defined]
+    print(f"[obs] {args.name}: {elapsed:.1f}s", file=sys.stderr, flush=True)
     if args.csv:
         csv_text = getattr(result, "csv_text", None)
         if csv_text is None:
@@ -406,6 +473,52 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if not (name.startswith("disk.") and data["type"] == "counter")
     }
     print(render_metrics(other))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = cache.store()
+    if store is None:
+        print("cache is disabled (--no-cache or REPRO_CACHE=off)")
+        return 1
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+        return 0
+    entries = store.entries()
+    if not entries:
+        print(f"cache at {store.root}: empty")
+        return 0
+    rows = [
+        (
+            entry.path.name,
+            fmt_size(entry.size_bytes),
+            time.strftime("%Y-%m-%d %H:%M", time.localtime(entry.created_at)),
+        )
+        for entry in entries
+    ]
+    print(render_table(
+        ["entry", "size", "created"], rows,
+        title=f"cache at {store.root} ({len(entries)} entries, "
+        f"{fmt_size(sum(e.size_bytes for e in entries))})",
+    ))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.suite import render_report, run_bench
+    from repro.obs.export import write_json
+
+    report = run_bench(
+        preset=args.preset,
+        jobs=args.jobs,
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+    output = args.output or f"BENCH_{report['date']}.json"
+    with open(output, "w") as fp:
+        write_json(fp, report)
+    print(render_report(report))
+    print(f"wrote report to {output}")
     return 0
 
 

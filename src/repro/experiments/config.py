@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Tuple
 
+from repro import cache
 from repro.aging.generator import AgingConfig, AgingArtifacts, build_workloads
 from repro.aging.replay import ReplayResult, age_file_system
 from repro.ffs.filesystem import FileSystem
@@ -100,24 +101,60 @@ def get_preset(name: str) -> Preset:
         ) from None
 
 
+def aging_config(preset_name: str) -> AgingConfig:
+    """The aging-pipeline configuration for a preset.
+
+    Also the cache-key material for that preset's aged artifacts: two
+    runs with equal configs are interchangeable, so the persistent
+    cache hashes exactly this.
+    """
+    preset = get_preset(preset_name)
+    return AgingConfig(params=preset.params, days=preset.days, seed=preset.seed)
+
+
 @lru_cache(maxsize=None)
 def artifacts(preset_name: str) -> AgingArtifacts:
     """The aging workloads for a preset (built once per process)."""
-    preset = get_preset(preset_name)
-    config = AgingConfig(params=preset.params, days=preset.days, seed=preset.seed)
-    return build_workloads(config)
+    return build_workloads(aging_config(preset_name))
+
+
+def _replayed(
+    preset_name: str, workload: str, policy: str, label: str
+) -> ReplayResult:
+    """One aged file system, through the persistent cache when enabled.
+
+    Misses replay the workload and (best-effort) persist the result;
+    hits skip both the workload construction and the replay, which is
+    what makes a warm ``experiment all`` fast and what lets parallel
+    workers share agings instead of each redoing them.
+    """
+    store = cache.store()
+    key = None
+    if store is not None:
+        key = cache.replay_key(
+            preset_name, aging_config(preset_name), workload, policy, label
+        )
+        cached = store.load_replay(key)
+        if cached is not None:
+            return cached
+    art = artifacts(preset_name)
+    source = art.reconstructed if workload == "reconstructed" else art.ground_truth
+    result = age_file_system(
+        source,
+        params=get_preset(preset_name).params,
+        policy=policy,
+        label=label,
+    )
+    if store is not None and key is not None:
+        store.save_replay(key, result)
+    return result
 
 
 @lru_cache(maxsize=None)
 def aged(preset_name: str, policy: str) -> ReplayResult:
     """The reconstructed workload replayed under ``policy``."""
-    preset = get_preset(preset_name)
-    return age_file_system(
-        artifacts(preset_name).reconstructed,
-        params=preset.params,
-        policy=policy,
-        label=f"FFS + Realloc" if policy == "realloc" else "FFS",
-    )
+    label = "FFS + Realloc" if policy == "realloc" else "FFS"
+    return _replayed(preset_name, "reconstructed", policy, label)
 
 
 @lru_cache(maxsize=None)
@@ -128,13 +165,7 @@ def aged_real(preset_name: str) -> ReplayResult:
     validation: the activity the snapshots could not capture is present
     here and absent from the reconstruction.
     """
-    preset = get_preset(preset_name)
-    return age_file_system(
-        artifacts(preset_name).ground_truth,
-        params=preset.params,
-        policy="ffs",
-        label="Real",
-    )
+    return _replayed(preset_name, "ground-truth", "ffs", "Real")
 
 
 def aged_fs_copy(preset_name: str, policy: str) -> FileSystem:
@@ -143,7 +174,20 @@ def aged_fs_copy(preset_name: str, policy: str) -> FileSystem:
 
 
 def clear_caches() -> None:
-    """Drop all cached artifacts (tests use this to control memory)."""
-    artifacts.cache_clear()
-    aged.cache_clear()
-    aged_real.cache_clear()
+    """Drop every in-process experiment memo.
+
+    Covers the accessors here *and* the per-experiment ``lru_cache``
+    memos in the experiment modules (found by scanning loaded modules,
+    so nothing gets imported as a side effect).  Tests use this to
+    control memory; parallel workers use it so that work re-done under
+    a fresh telemetry session is not short-circuited by results
+    memoized under an earlier (already snapshotted) one.
+    """
+    import sys
+
+    for name, module in list(sys.modules.items()):
+        if module is None or not name.startswith("repro.experiments"):
+            continue
+        for attr in vars(module).values():
+            if callable(attr) and hasattr(attr, "cache_clear"):
+                attr.cache_clear()

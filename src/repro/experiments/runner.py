@@ -49,8 +49,13 @@ EXPERIMENTS: Dict[str, Callable[[str], object]] = {
 }
 
 
-def run_one(name: str, preset: str = "small") -> object:
-    """Run a single experiment by registry name."""
+def run_one_timed(name: str, preset: str = "small") -> Tuple[object, float]:
+    """Run a single experiment; returns ``(result, wall_seconds)``.
+
+    The wall time is measured unconditionally — telemetry being off
+    must not cost the CLI its timing report — and additionally
+    published as a span + gauge when telemetry is on.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
@@ -58,14 +63,20 @@ def run_one(name: str, preset: str = "small") -> object:
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
     tr = obs.tracer_or_none()
-    if tr is None:
-        return runner(preset)
     start = time.perf_counter()
+    if tr is None:
+        result = runner(preset)
+        return result, time.perf_counter() - start
     with tr.span(f"experiment.{name}", preset=preset):
         result = runner(preset)
-    obs.metrics().gauge(f"experiment.{name}.wall_s").set(
-        time.perf_counter() - start
-    )
+    elapsed = time.perf_counter() - start
+    obs.metrics().gauge(f"experiment.{name}.wall_s").set(elapsed)
+    return result, elapsed
+
+
+def run_one(name: str, preset: str = "small") -> object:
+    """Run a single experiment by registry name."""
+    result, _elapsed = run_one_timed(name, preset)
     return result
 
 
@@ -76,9 +87,29 @@ def iter_all(preset: str = "small") -> Iterator[Tuple[str, object, float]]:
     progressive output (the CLI) render each one on arrival.
     """
     for name in EXPERIMENTS:
-        start = time.perf_counter()
-        result = run_one(name, preset)
-        yield name, result, time.perf_counter() - start
+        result, elapsed = run_one_timed(name, preset)
+        yield name, result, elapsed
+
+
+def iter_all_rendered(
+    preset: str = "small", jobs: int = 1
+) -> Iterator[Tuple[str, str, float]]:
+    """Like :meth:`iter_all` but yields rendered text blocks.
+
+    This is the form the CLI and :func:`render_all` consume, because it
+    is the common denominator of the serial and parallel paths: a
+    parallel worker ships text (results hold whole file systems, which
+    are not worth pickling back).  ``jobs > 1`` fans the suite across
+    worker processes via :mod:`repro.parallel`; the yielded stream is
+    identical either way, in paper order.
+    """
+    if jobs > 1:
+        from repro.parallel import iter_all_parallel
+
+        yield from iter_all_parallel(preset, jobs)
+        return
+    for name, result, elapsed in iter_all(preset):
+        yield name, result.render(), elapsed  # type: ignore[attr-defined]
 
 
 def run_all(preset: str = "small") -> List[Tuple[str, object]]:
@@ -91,10 +122,17 @@ def experiment_header(name: str, preset: str) -> str:
     return f"{'=' * 78}\n{name} (preset: {preset})\n{'=' * 78}"
 
 
-def render_all(preset: str = "small") -> str:
+def slowest_summary(times: Dict[str, float], top: int = 3) -> str:
+    """One-line "where did the time go" summary of a suite run."""
+    ranked = sorted(times.items(), key=lambda item: (-item[1], item[0]))[:top]
+    body = ", ".join(f"{name} {elapsed:.1f}s" for name, elapsed in ranked)
+    return f"slowest: {body} (total {sum(times.values()):.1f}s)"
+
+
+def render_all(preset: str = "small", jobs: int = 1) -> str:
     """Rendered text of the full suite, ready for the terminal."""
     blocks = []
-    for name, result in run_all(preset):
+    for name, text, _elapsed in iter_all_rendered(preset, jobs=jobs):
         blocks.append(experiment_header(name, preset))
-        blocks.append(result.render())  # type: ignore[attr-defined]
+        blocks.append(text)
     return "\n\n".join(blocks)

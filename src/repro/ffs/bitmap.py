@@ -69,29 +69,62 @@ class FragBitmap:
     # ------------------------------------------------------------------
 
     def alloc_run(self, block: int, offset: int, nfrags: int) -> None:
-        """Mark ``nfrags`` fragments starting at (block, offset) allocated."""
+        """Mark ``nfrags`` fragments starting at (block, offset) allocated.
+
+        The scan-and-set is done with ``bytearray`` primitives (``find``
+        plus one slice assignment) rather than a per-fragment Python
+        loop; this is the allocator's innermost write and the difference
+        is measurable across a ten-month aging replay.
+        """
         self._check(block, offset, nfrags)
         base = block * self.fpb + offset
-        for i in range(base, base + nfrags):
-            if self._bits[i]:
-                raise ValueError(
-                    f"double allocation: block {block} frag {i - block * self.fpb}"
-                )
-            self._bits[i] = 1
+        taken = self._bits.find(1, base, base + nfrags)
+        if taken != -1:
+            raise ValueError(
+                f"double allocation: block {block} frag {taken - block * self.fpb}"
+            )
+        self._bits[base : base + nfrags] = b"\x01" * nfrags
         self._free_in_block[block] -= nfrags
         self.free_frags -= nfrags
         self._reindex(block)
+
+    def alloc_block_range(self, block: int, nblocks: int) -> None:
+        """Mark ``nblocks`` whole blocks starting at ``block`` allocated.
+
+        The batched form of ``alloc_run(b, 0, fpb)`` for a cluster: one
+        slice write covers the whole range, and the run index only needs
+        the (now full) blocks removed.  Every fragment in the range must
+        be free.
+        """
+        if nblocks < 1 or block < 0 or block + nblocks > self.nblocks:
+            raise ValueError(
+                f"block range ({block}, {nblocks}) out of range 0..{self.nblocks - 1}"
+            )
+        base = block * self.fpb
+        end = (block + nblocks) * self.fpb
+        taken = self._bits.find(1, base, end)
+        if taken != -1:
+            raise ValueError(
+                f"double allocation: block {taken // self.fpb} "
+                f"frag {taken % self.fpb}"
+            )
+        self._bits[base:end] = b"\x01" * (end - base)
+        for b in range(block, block + nblocks):
+            self._free_in_block[b] = 0
+            for bucket in self._runs.values():
+                bucket.pop(b, None)
+        self.free_frags -= end - base
 
     def free_run(self, block: int, offset: int, nfrags: int) -> None:
         """Mark ``nfrags`` fragments starting at (block, offset) free."""
         self._check(block, offset, nfrags)
         base = block * self.fpb + offset
-        for i in range(base, base + nfrags):
-            if not self._bits[i]:
-                raise ValueError(
-                    f"double free: block {block} frag {i - block * self.fpb}"
-                )
-            self._bits[i] = 0
+        freed = self._bits.find(0, base, base + nfrags)
+        if freed != -1:
+            raise ValueError(
+                f"double free: block {block} frag {freed - block * self.fpb}"
+            )
+        self._bits[base : base + nfrags] = b"\x00" * nfrags
         self._free_in_block[block] += nfrags
         self.free_frags += nfrags
         self._reindex(block)
@@ -127,7 +160,7 @@ class FragBitmap:
         """Whether the exact run (block, offset, nfrags) is entirely free."""
         self._check(block, offset, nfrags)
         base = block * self.fpb + offset
-        return all(self._bits[i] == 0 for i in range(base, base + nfrags))
+        return self._bits.find(1, base, base + nfrags) == -1
 
     def partial_blocks_with_run(self, nfrags: int) -> List[int]:
         """Partially-allocated blocks containing a free run >= ``nfrags``.

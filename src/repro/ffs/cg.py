@@ -150,20 +150,25 @@ class CylinderGroup:
         return self.base + local
 
     def alloc_cluster(self, start: int, length: int) -> None:
-        """Allocate ``length`` consecutive blocks starting at global ``start``."""
+        """Allocate ``length`` consecutive blocks starting at global ``start``.
+
+        One interval splice in the run map plus one slice write in the
+        bitmap, rather than ``length`` independent block allocations —
+        this is the realloc policy's hottest write path.
+        """
         local = self._local(start)
         if local + length > self.nblocks:
             raise OutOfSpaceError(
                 f"cluster ({start}, {length}) crosses the group boundary",
                 cg=self.index,
             )
-        for i in range(length):
-            if not self.runmap.is_free(local + i):
-                raise OutOfSpaceError(
-                    f"cluster block {start + i} is not free", cg=self.index
-                )
-        for i in range(length):
-            self._take_whole_block(local + i)
+        bad = self.runmap.first_not_free(local, length)
+        if bad is not None:
+            raise OutOfSpaceError(
+                f"cluster block {self.base + bad} is not free", cg=self.index
+            )
+        self.runmap.alloc_range(local, length)
+        self.bitmap.alloc_block_range(local, length)
         self.rotor = (local + length) % self.nblocks
 
     # ------------------------------------------------------------------

@@ -30,6 +30,10 @@ class BlockRunMap:
         self.nblocks = nblocks
         self._starts: List[int] = []
         self._len_at: Dict[int, int] = {}
+        #: How many runs currently have each length; lets ``max_run`` be
+        #: maintained incrementally instead of scanning every run.
+        self._len_count: Dict[int, int] = {}
+        self._max_run = 0
         self.free_blocks = 0
         if initially_free:
             self._insert(0, nblocks)
@@ -47,10 +51,27 @@ class BlockRunMap:
         return [(s, self._len_at[s]) for s in self._starts]
 
     def max_run(self) -> int:
-        """Length of the longest free run (0 if none)."""
-        if not self._starts:
-            return 0
-        return max(self._len_at[s] for s in self._starts)
+        """Length of the longest free run (0 if none).
+
+        Maintained incrementally by ``_insert``/``_remove`` — the realloc
+        policy asks this on every cluster decision, so it must not cost a
+        scan over all runs.
+        """
+        return self._max_run
+
+    def first_not_free(self, start: int, length: int) -> Optional[int]:
+        """First block in [start, start+length) not free, or None.
+
+        The cluster allocator uses this to validate a candidate run in
+        one interval lookup before committing to :meth:`alloc_range`.
+        """
+        run = self._run_containing(start)
+        if run is None:
+            return start
+        run_end = run + self._len_at[run]
+        if start + length > run_end:
+            return run_end
+        return None
 
     def find_free_block(self, pref: int = 0) -> Optional[int]:
         """First free block at or after ``pref``, wrapping around.
@@ -142,9 +163,28 @@ class BlockRunMap:
             self._insert(block + 1, tail)
 
     def alloc_range(self, start: int, length: int) -> None:
-        """Remove ``length`` consecutive blocks starting at ``start``."""
-        for b in range(start, start + length):
-            self.alloc(b)
+        """Remove ``length`` consecutive blocks starting at ``start``.
+
+        One interval splice: the containing run is found once and split
+        at most twice, instead of ``length`` repeated ``alloc()``
+        bisect/split cycles.  The call is atomic — if any block of the
+        range is not free, the error names the first such block and the
+        map is left untouched.
+        """
+        if length <= 0:
+            return
+        run = self._run_containing(start)
+        if run is None:
+            raise ValueError(f"block {start} is not free")
+        run_len = self._len_at[run]
+        if start + length > run + run_len:
+            raise ValueError(f"block {run + run_len} is not free")
+        self._remove(run)
+        if start > run:
+            self._insert(run, start - run)
+        tail = run + run_len - (start + length)
+        if tail:
+            self._insert(start + length, tail)
 
     def free(self, block: int) -> None:
         """Return ``block`` to the free map, merging with neighbours."""
@@ -184,10 +224,21 @@ class BlockRunMap:
         insort(self._starts, start)
         self._len_at[start] = length
         self.free_blocks += length
+        self._len_count[length] = self._len_count.get(length, 0) + 1
+        if length > self._max_run:
+            self._max_run = length
 
     def _remove(self, start: int) -> None:
         idx = bisect_right(self._starts, start) - 1
         if idx < 0 or self._starts[idx] != start:
             raise ValueError(f"no run starts at {start}")
         del self._starts[idx]
-        self.free_blocks -= self._len_at.pop(start)
+        length = self._len_at.pop(start)
+        self.free_blocks -= length
+        remaining = self._len_count[length] - 1
+        if remaining:
+            self._len_count[length] = remaining
+        else:
+            del self._len_count[length]
+            if length == self._max_run:
+                self._max_run = max(self._len_count) if self._len_count else 0

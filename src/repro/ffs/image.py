@@ -28,16 +28,20 @@ from repro.ffs.inode import Inode
 from repro.ffs.params import FSParams
 
 FORMAT_NAME = "repro-ffs-image"
-FORMAT_VERSION = 1
+#: v2 added per-group allocation rotors, so a restored file system makes
+#: *identical* subsequent allocation decisions to the one that was saved
+#: (v1 images reset every rotor to the group's first data block).
+FORMAT_VERSION = 2
 
 
-def dump_filesystem(fs: FileSystem, fp: TextIO) -> None:
-    """Write ``fs`` as a JSON image."""
-    document = {
+def filesystem_to_document(fs: FileSystem) -> Dict[str, Any]:
+    """The image of ``fs`` as a plain JSON-serializable document."""
+    return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "policy": fs.policy.name,
         "params": dataclasses.asdict(fs.params),
+        "rotors": [cg.rotor for cg in fs.sb.cgs],
         "inodes": [_inode_to_json(inode) for inode in fs.inodes.values()],
         "directories": [
             {
@@ -50,7 +54,11 @@ def dump_filesystem(fs: FileSystem, fp: TextIO) -> None:
         ],
         "file_directory": dict(fs._dir_of_file),
     }
-    json.dump(document, fp)
+
+
+def dump_filesystem(fs: FileSystem, fp: TextIO) -> None:
+    """Write ``fs`` as a JSON image."""
+    json.dump(filesystem_to_document(fs), fp)
 
 
 def load_filesystem(fp: TextIO, verify: bool = True) -> FileSystem:
@@ -60,7 +68,14 @@ def load_filesystem(fp: TextIO, verify: bool = True) -> FileSystem:
     referenced by the saved inodes; with ``verify`` (the default) the
     result is cross-checked by the fsck-lite checker before returning.
     """
-    document = json.load(fp)
+    return filesystem_from_document(json.load(fp), verify=verify)
+
+
+def filesystem_from_document(
+    document: Dict[str, Any], verify: bool = True
+) -> FileSystem:
+    """Rebuild a file system from a document made by
+    :func:`filesystem_to_document`."""
     if document.get("format") != FORMAT_NAME:
         raise SimulationError("not a repro-ffs image")
     if document.get("version") != FORMAT_VERSION:
@@ -99,6 +114,8 @@ def load_filesystem(fp: TextIO, verify: bool = True) -> FileSystem:
     fs._realloc_mark.update(
         {inode.ino: len(inode.blocks) for inode in fs.inodes.values()}
     )
+    for cg, rotor in zip(fs.sb.cgs, document.get("rotors", [])):
+        cg.rotor = rotor
 
     if verify:
         check_filesystem(fs)

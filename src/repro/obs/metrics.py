@@ -128,6 +128,31 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def merge_dict(self, data: Dict[str, object]) -> None:
+        """Fold a :meth:`to_dict` snapshot (e.g. from a worker process) in.
+
+        Exact for count/sum/min/max; bucket counts land in the bucket
+        whose recorded upper bound they carry (identical bounds ladders
+        merge losslessly, which is the case for all repro histograms).
+        """
+        for bound, n in data.get("buckets", []):  # type: ignore[union-attr]
+            if bound == "+inf":
+                idx = len(self.bounds)
+            else:
+                idx = bisect.bisect_left(self.bounds, float(bound))
+            self.bucket_counts[idx] += int(n)
+        self.count += int(data.get("count", 0))  # type: ignore[arg-type]
+        self.sum += float(data.get("sum", 0.0))  # type: ignore[arg-type]
+        for extreme, pick in (("min", min), ("max", max)):
+            value = data.get(extreme)
+            if value is None:
+                continue
+            mine = getattr(self, extreme)
+            setattr(
+                self, extreme,
+                float(value) if mine is None else pick(mine, float(value)),  # type: ignore[arg-type]
+            )
+
     def quantile(self, q: float) -> float:
         """Approximate ``q``-quantile from the bucket upper bounds.
 
@@ -218,6 +243,25 @@ class MetricsRegistry:
             name: self._metrics[name].to_dict()  # type: ignore[attr-defined]
             for name in sorted(self._metrics)
         }
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is how a parallel run aggregates telemetry: each worker
+        snapshots its own registry and the parent merges them, so the
+        final manifest carries suite-wide totals just like a serial
+        run.  Counters add, gauges take the incoming value (merge in a
+        deterministic order for a deterministic result), histograms
+        merge exactly via :meth:`Histogram.merge_dict`.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).inc(float(data.get("value", 0)))  # type: ignore[arg-type]
+            elif kind == "gauge":
+                self.gauge(name).set(float(data.get("value", 0.0)))  # type: ignore[arg-type]
+            elif kind == "histogram":
+                self.histogram(name).merge_dict(data)
 
 
 class _NullCounter:

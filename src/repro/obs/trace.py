@@ -144,6 +144,59 @@ class Tracer:
                 self.end(opened)
 
     # ------------------------------------------------------------------
+    # Cross-process adoption
+    # ------------------------------------------------------------------
+
+    def adopt_rows(
+        self,
+        rows: List[Dict[str, object]],
+        parent: Optional[Span] = None,
+        **attrs: object,
+    ) -> int:
+        """Graft spans exported by another process into this trace.
+
+        ``rows`` is another tracer's :meth:`to_rows` output (what a
+        parallel worker ships home).  Span ids are renumbered into this
+        tracer's sequence and the worker's root spans are attached under
+        ``parent`` (or the innermost open span), so the merged trace
+        stays one consistent tree.  Durations are preserved; start
+        offsets remain in the worker's clock, since ``perf_counter``
+        epochs are not comparable across processes.  Extra ``attrs``
+        (e.g. a worker tag) are stamped onto every adopted span.
+        Returns the number of spans adopted.
+        """
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        id_map: Dict[object, int] = {}
+        for row in rows:
+            new_id = self._next_id
+            self._next_id += 1
+            id_map[row.get("span_id")] = new_id
+            old_parent = row.get("parent_id")
+            if old_parent in id_map:
+                parent_id: Optional[int] = id_map[old_parent]
+            else:
+                parent_id = parent.span_id if parent is not None else None
+            span = Span(
+                new_id,
+                parent_id,
+                str(row.get("name", "")),
+                float(row.get("wall_start_s", 0.0)),  # type: ignore[arg-type]
+                sim_start=row.get("sim_start"),  # type: ignore[arg-type]
+            )
+            elapsed = row.get("wall_elapsed_s")
+            span.wall_end = (
+                span.wall_start + float(elapsed) if elapsed is not None else None  # type: ignore[arg-type]
+            )
+            if row.get("sim_elapsed") is not None and span.sim_start is not None:
+                span.sim_end = span.sim_start + float(row["sim_elapsed"])  # type: ignore[arg-type]
+            span.attrs.update(row.get("attrs", {}))  # type: ignore[arg-type]
+            if attrs:
+                span.attrs.update(attrs)
+            self.finished.append(span)
+        return len(rows)
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
 

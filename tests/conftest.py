@@ -8,9 +8,11 @@ system always work on copies.
 from __future__ import annotations
 
 import copy
+import os
 
 import pytest
 
+from repro import cache
 from repro.aging.generator import AgingConfig, build_workloads
 from repro.aging.replay import age_file_system
 from repro.ffs.filesystem import FileSystem
@@ -19,6 +21,23 @@ from repro.units import MB
 
 
 TEST_SEED = 20260706
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_artifact_cache(tmp_path_factory):
+    """Point the persistent artifact cache at a session-private tmp dir.
+
+    Tests still exercise the cache code path (and benefit from warm
+    reruns within the session), but never read from or litter the
+    developer's ``.repro-cache/``.
+    """
+    prior = os.environ.get(cache.ENV_DIR)
+    os.environ[cache.ENV_DIR] = str(tmp_path_factory.mktemp("artifact-cache"))
+    yield
+    if prior is None:
+        os.environ.pop(cache.ENV_DIR, None)
+    else:
+        os.environ[cache.ENV_DIR] = prior
 
 
 @pytest.fixture(scope="session")

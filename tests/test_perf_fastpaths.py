@@ -1,0 +1,297 @@
+"""Differential tests for the allocation hot paths.
+
+``FragBitmap`` and ``BlockRunMap`` were rewritten with ``bytearray``
+slice primitives and single-splice interval updates; these tests drive
+the fast structures and deliberately naive references through the same
+randomized operation sequences and require identical observable state —
+including identical error behaviour — after every step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ffs.bitmap import FragBitmap
+from repro.ffs.clustermap import BlockRunMap
+
+
+# ----------------------------------------------------------------------
+# Naive references (one obvious loop per operation)
+# ----------------------------------------------------------------------
+
+
+class RefBitmap:
+    """Per-fragment list-of-lists bitmap; every operation is a loop."""
+
+    def __init__(self, nblocks: int, fpb: int):
+        self.nblocks = nblocks
+        self.fpb = fpb
+        self.bits = [[0] * fpb for _ in range(nblocks)]
+
+    def alloc_run(self, block: int, offset: int, nfrags: int) -> None:
+        row = self.bits[block]
+        if any(row[i] for i in range(offset, offset + nfrags)):
+            raise ValueError("double allocation")
+        for i in range(offset, offset + nfrags):
+            row[i] = 1
+
+    def alloc_block_range(self, block: int, nblocks: int) -> None:
+        if any(
+            self.bits[b][i]
+            for b in range(block, block + nblocks)
+            for i in range(self.fpb)
+        ):
+            raise ValueError("double allocation")
+        for b in range(block, block + nblocks):
+            self.bits[b] = [1] * self.fpb
+
+    def free_run(self, block: int, offset: int, nfrags: int) -> None:
+        row = self.bits[block]
+        if any(row[i] == 0 for i in range(offset, offset + nfrags)):
+            raise ValueError("double free")
+        for i in range(offset, offset + nfrags):
+            row[i] = 0
+
+    def free_frags(self) -> int:
+        return sum(row.count(0) for row in self.bits)
+
+    def free_in_block(self, block: int) -> int:
+        return self.bits[block].count(0)
+
+    def frag_runs(self, block: int):
+        runs, start = [], None
+        for off, bit in enumerate(self.bits[block]):
+            if bit == 0 and start is None:
+                start = off
+            elif bit and start is not None:
+                runs.append((start, off - start))
+                start = None
+        if start is not None:
+            runs.append((start, self.fpb - start))
+        return runs
+
+    def run_is_free(self, block: int, offset: int, nfrags: int) -> bool:
+        return all(
+            self.bits[block][i] == 0 for i in range(offset, offset + nfrags)
+        )
+
+    def partial_blocks_with_run(self, nfrags: int):
+        found = set()
+        for block in range(self.nblocks):
+            free = self.free_in_block(block)
+            if free == 0 or free == self.fpb:
+                continue
+            if any(length >= nfrags for _off, length in self.frag_runs(block)):
+                found.add(block)
+        return found
+
+
+class RefRunMap:
+    """Free-block set; runs and queries are recomputed from scratch."""
+
+    def __init__(self, nblocks: int):
+        self.nblocks = nblocks
+        self.free = set(range(nblocks))
+
+    def alloc(self, block: int) -> None:
+        if block not in self.free:
+            raise ValueError("not free")
+        self.free.discard(block)
+
+    def alloc_range(self, start: int, length: int) -> None:
+        blocks = range(start, start + length)
+        if any(b not in self.free for b in blocks):
+            raise ValueError("not free")
+        self.free -= set(blocks)
+
+    def free_block(self, block: int) -> None:
+        if block in self.free:
+            raise ValueError("already free")
+        self.free.add(block)
+
+    def runs(self):
+        out, start = [], None
+        for b in range(self.nblocks + 1):
+            if b < self.nblocks and b in self.free:
+                if start is None:
+                    start = b
+            elif start is not None:
+                out.append((start, b - start))
+                start = None
+        return out
+
+    def max_run(self) -> int:
+        return max((length for _s, length in self.runs()), default=0)
+
+    def first_not_free(self, start: int, length: int):
+        for b in range(start, start + length):
+            if b not in self.free:
+                return b
+        return None
+
+
+# ----------------------------------------------------------------------
+# Differential drivers
+# ----------------------------------------------------------------------
+
+
+def _assert_bitmap_equal(fast: FragBitmap, ref: RefBitmap) -> None:
+    assert fast.free_frags == ref.free_frags()
+    for block in range(fast.nblocks):
+        assert fast.free_in_block(block) == ref.free_in_block(block)
+        assert fast.frag_runs(block) == ref.frag_runs(block)
+    for nfrags in range(1, fast.fpb):
+        assert set(fast.partial_blocks_with_run(nfrags)) == (
+            ref.partial_blocks_with_run(nfrags)
+        )
+
+
+@pytest.mark.parametrize("seed", [1, 1996, 20260806])
+def test_frag_bitmap_differential(seed):
+    rng = random.Random(seed)
+    nblocks, fpb = 24, 8
+    fast = FragBitmap(nblocks, fpb)
+    ref = RefBitmap(nblocks, fpb)
+    for _step in range(600):
+        block = rng.randrange(nblocks)
+        op = rng.random()
+        if op < 0.45:
+            offset = rng.randrange(fpb)
+            nfrags = rng.randint(1, fpb - offset)
+            args = (block, offset, nfrags)
+            method = "alloc_run"
+        elif op < 0.85:
+            offset = rng.randrange(fpb)
+            nfrags = rng.randint(1, fpb - offset)
+            args = (block, offset, nfrags)
+            method = "free_run"
+        else:
+            nb = rng.randint(1, min(3, nblocks - block))
+            args = (block, nb)
+            method = "alloc_block_range"
+        fast_err = ref_err = None
+        try:
+            getattr(fast, method)(*args)
+        except ValueError as exc:
+            fast_err = exc
+        try:
+            getattr(ref, method)(*args)
+        except ValueError:
+            ref_err = ValueError
+        assert (fast_err is None) == (ref_err is None), (method, args)
+        # the checked run_is_free predicate must agree everywhere
+        probe = rng.randrange(nblocks)
+        off = rng.randrange(fpb)
+        n = rng.randint(1, fpb - off)
+        assert fast.run_is_free(probe, off, n) == ref.run_is_free(probe, off, n)
+    _assert_bitmap_equal(fast, ref)
+
+
+def _assert_runmap_equal(fast: BlockRunMap, ref: RefRunMap) -> None:
+    assert fast.runs() == ref.runs()
+    assert fast.free_blocks == len(ref.free)
+    assert fast.max_run() == ref.max_run()
+
+
+@pytest.mark.parametrize("seed", [2, 42, 19960122])
+def test_block_runmap_differential(seed):
+    rng = random.Random(seed)
+    nblocks = 64
+    fast = BlockRunMap(nblocks)
+    ref = RefRunMap(nblocks)
+    for _step in range(800):
+        op = rng.random()
+        block = rng.randrange(nblocks)
+        fast_err = ref_err = None
+        if op < 0.35:
+            try:
+                fast.alloc(block)
+            except ValueError as exc:
+                fast_err = exc
+            try:
+                ref.alloc(block)
+            except ValueError:
+                ref_err = ValueError
+        elif op < 0.6:
+            length = rng.randint(1, min(6, nblocks - block))
+            try:
+                fast.alloc_range(block, length)
+            except ValueError as exc:
+                fast_err = exc
+            try:
+                ref.alloc_range(block, length)
+            except ValueError:
+                ref_err = ValueError
+            probe_len = rng.randint(1, min(6, nblocks - block))
+            assert fast.first_not_free(block, probe_len) == (
+                ref.first_not_free(block, probe_len)
+            )
+        else:
+            try:
+                fast.free(block)
+            except ValueError as exc:
+                fast_err = exc
+            try:
+                ref.free_block(block)
+            except ValueError:
+                ref_err = ValueError
+        assert (fast_err is None) == (ref_err is None)
+        assert fast.is_free(block) == (block in ref.free)
+    _assert_runmap_equal(fast, ref)
+    # the search query still returns a genuinely free block (or None)
+    for pref in range(0, nblocks, 7):
+        found = fast.find_free_block(pref)
+        if ref.free:
+            assert found in ref.free
+        else:
+            assert found is None
+
+
+# ----------------------------------------------------------------------
+# Regression: alloc_range error contract (satellite fix)
+# ----------------------------------------------------------------------
+
+
+class TestAllocRangeContract:
+    def test_start_not_free_names_start(self):
+        m = BlockRunMap(16)
+        m.alloc_range(4, 3)  # occupy [4, 7)
+        with pytest.raises(ValueError, match=r"block 5 is not free"):
+            m.alloc_range(5, 2)
+
+    def test_overrun_names_first_allocated_block(self):
+        m = BlockRunMap(16)
+        m.alloc_range(8, 2)  # occupy [8, 10); [0, 8) stays free
+        with pytest.raises(ValueError, match=r"block 8 is not free"):
+            m.alloc_range(6, 4)  # blocks 6..9: fails at 8
+
+    def test_overrun_past_end_names_end(self):
+        m = BlockRunMap(16)
+        with pytest.raises(ValueError, match=r"block 16 is not free"):
+            m.alloc_range(14, 4)
+
+    def test_failed_alloc_range_is_atomic(self):
+        m = BlockRunMap(16)
+        m.alloc_range(8, 2)
+        before = (m.runs(), m.free_blocks, m.max_run())
+        with pytest.raises(ValueError):
+            m.alloc_range(6, 4)
+        assert (m.runs(), m.free_blocks, m.max_run()) == before
+
+    def test_zero_length_is_a_noop(self):
+        m = BlockRunMap(8)
+        m.alloc_range(3, 0)
+        assert m.runs() == [(0, 8)]
+
+    def test_max_run_tracks_splits_and_merges(self):
+        m = BlockRunMap(32)
+        assert m.max_run() == 32
+        m.alloc_range(10, 4)  # [0,10) + [14,32)
+        assert m.max_run() == 18
+        m.alloc_range(20, 12)  # [0,10) + [14,20)
+        assert m.max_run() == 10
+        for b in range(10, 14):
+            m.free(b)  # rejoin: [0,20)
+        assert m.max_run() == 20
