@@ -25,6 +25,7 @@ from repro import obs
 from repro.aging.workload import APPEND, CREATE, Workload
 from repro.analysis.layout import optimal_pairs
 from repro.analysis.timeline import DailySample, Timeline
+from repro.obs import events as obs_events
 from repro.errors import OutOfSpaceError, SimulationError
 from repro.ffs.filesystem import FileSystem
 
@@ -59,6 +60,8 @@ class AgingReplayer:
     def __init__(self, fs: FileSystem, label: str = "aged"):
         self.fs = fs
         self.label = label
+        # Event-log handle, captured once; None is the disabled path.
+        self._e = obs.events_or_none()
         self._dir_for_cg: List[str] = []
         self._pairs: Dict[int, "tuple[int, int]"] = {}  # ino -> (opt, countable)
         self._optimal_total = 0
@@ -189,15 +192,55 @@ class AgingReplayer:
         return result
 
     def _sample(self, result: ReplayResult, day: int) -> None:
-        result.timeline.add(
-            DailySample(
-                day=day,
-                layout_score=self.current_layout_score(),
-                utilization=self.fs.utilization(),
-                live_files=len(self.fs.files()),
-                ops_applied=result.ops_applied,
-            )
+        sample = DailySample(
+            day=day,
+            layout_score=self.current_layout_score(),
+            utilization=self.fs.utilization(),
+            live_files=len(self.fs.files()),
+            ops_applied=result.ops_applied,
         )
+        result.timeline.add(sample)
+        if self._e is not None:
+            # One typed event per simulated day: exactly the timeline's
+            # sample (same objects, so the scores match to the bit) plus
+            # the free-space and per-CG occupancy summary the timeline
+            # does not carry.
+            self._e.emit(
+                obs_events.DAY_SAMPLE,
+                label=self.label,
+                day=sample.day,
+                layout_score=sample.layout_score,
+                utilization=sample.utilization,
+                live_files=sample.live_files,
+                ops_applied=sample.ops_applied,
+                **self._fs_health(),
+            )
+
+    def _fs_health(self) -> Dict[str, object]:
+        """Free-space fragmentation + per-CG occupancy for day samples.
+
+        Only computed when the event log is active: it walks every
+        group's free-run map, which would be wasted work on the
+        default path.
+        """
+        from repro.analysis.freespace import free_space_stats
+
+        stats = free_space_stats(self.fs)
+        frags_per_cg = self.fs.params.blocks_per_cg * self.fs.params.frags_per_block
+        occupancy = sorted(
+            1.0 - cg.free_frags / frags_per_cg for cg in self.fs.sb.cgs
+        )
+        n = len(occupancy)
+        deciles = [
+            round(occupancy[min(n - 1, round(i * (n - 1) / 10))], 4)
+            for i in range(11)
+        ]
+        return {
+            "free_runs": stats.n_runs,
+            "largest_free_run": stats.largest_run,
+            "clusterable_fraction": round(stats.clusterable_fraction, 4),
+            "cg_occupancy_deciles": deciles,
+        }
 
     # ------------------------------------------------------------------
     # Incremental layout accounting

@@ -1,0 +1,179 @@
+"""Bench-report comparison: the regression gate behind ``bench --compare``.
+
+``repro-ffs bench`` writes ``BENCH_<date>.json`` documents that, until
+now, nothing read back.  This module diffs two of them — the newest two
+in a directory, or the newest against an explicit baseline — and turns
+the result into an exit code CI can gate on: per-pass wall-time deltas,
+per-experiment movers, and non-zero exit when any pass regresses past a
+configurable threshold.
+
+A pass counts as **regressed** when its wall time grew by more than
+``threshold`` (a fraction: 0.25 means 25% slower) *and* by more than
+``abs_floor_s`` seconds — the absolute floor keeps a 0.01s → 0.02s jitter
+on a near-empty pass from failing a build.  Passes present in only one
+report are reported but never gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bench.suite import SCHEMA
+
+__all__ = [
+    "find_reports",
+    "load_report",
+    "compare_reports",
+    "render_comparison",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_ABS_FLOOR_S",
+]
+
+#: Default regression threshold: 25% slower fails the gate.
+DEFAULT_THRESHOLD = 0.25
+#: Minimum absolute slowdown (seconds) before a pass can regress.
+DEFAULT_ABS_FLOOR_S = 0.2
+
+
+def find_reports(directory: "Path | str" = ".") -> List[Path]:
+    """All ``BENCH_*.json`` files in ``directory``, oldest first.
+
+    Ordered by modification time (the date in the filename is the run
+    date, but CI writes names like ``BENCH_ci.json``), ties broken by
+    name for determinism.
+    """
+    root = Path(directory)
+    paths = [p for p in root.glob("BENCH_*.json") if p.is_file()]
+    return sorted(paths, key=lambda p: (p.stat().st_mtime, p.name))
+
+
+def load_report(path: "Path | str") -> Dict[str, object]:
+    """Read and schema-check one bench report."""
+    with open(path) as fp:
+        report = json.load(fp)
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: not a bench report (schema {report.get('schema')!r})"
+        )
+    return report
+
+
+def _passes_by_name(report: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    return {p["name"]: p for p in report.get("passes", [])}  # type: ignore[union-attr, index]
+
+
+def compare_reports(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+    abs_floor_s: float = DEFAULT_ABS_FLOOR_S,
+) -> Dict[str, object]:
+    """Diff two bench reports; returns the comparison document.
+
+    The document carries per-pass rows (baseline/current seconds, delta,
+    ratio, regressed flag), per-experiment deltas within each shared
+    pass, and the list of regressed pass names — empty means the gate
+    passes.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    base_passes = _passes_by_name(baseline)
+    cur_passes = _passes_by_name(current)
+    rows: List[Dict[str, object]] = []
+    regressions: List[str] = []
+    for name, cur in cur_passes.items():
+        base = base_passes.get(name)
+        cur_s = float(cur["total_s"])  # type: ignore[arg-type]
+        if base is None:
+            rows.append({"name": name, "current_s": cur_s, "baseline_s": None})
+            continue
+        base_s = float(base["total_s"])  # type: ignore[arg-type]
+        delta = cur_s - base_s
+        ratio = cur_s / base_s if base_s > 0 else None
+        regressed = (
+            base_s > 0
+            and delta > abs_floor_s
+            and cur_s > base_s * (1.0 + threshold)
+        )
+        experiments = []
+        base_exps = dict(base.get("experiments", {}))  # type: ignore[arg-type]
+        for exp, cur_wall in dict(cur.get("experiments", {})).items():  # type: ignore[arg-type]
+            if exp in base_exps:
+                experiments.append({
+                    "name": exp,
+                    "baseline_s": float(base_exps[exp]),
+                    "current_s": float(cur_wall),
+                    "delta_s": round(float(cur_wall) - float(base_exps[exp]), 4),
+                })
+        experiments.sort(key=lambda e: (-e["delta_s"], e["name"]))  # type: ignore[operator, index]
+        rows.append({
+            "name": name,
+            "baseline_s": base_s,
+            "current_s": cur_s,
+            "delta_s": round(delta, 4),
+            "ratio": round(ratio, 4) if ratio is not None else None,
+            "regressed": regressed,
+            "experiments": experiments,
+        })
+        if regressed:
+            regressions.append(name)
+    return {
+        "baseline_date": baseline.get("date"),
+        "current_date": current.get("date"),
+        "preset": current.get("preset"),
+        "preset_mismatch": baseline.get("preset") != current.get("preset"),
+        "baseline_preset": baseline.get("preset"),
+        "threshold": threshold,
+        "abs_floor_s": abs_floor_s,
+        "passes": rows,
+        "regressions": regressions,
+    }
+
+
+def render_comparison(comparison: Dict[str, object], movers: int = 3) -> str:
+    """Human summary of a comparison (per-pass lines + worst movers)."""
+    lines = [
+        f"bench compare: {comparison.get('baseline_date')} -> "
+        f"{comparison.get('current_date')} (preset {comparison.get('preset')}, "
+        f"threshold +{float(comparison['threshold']):.0%})"  # type: ignore[arg-type]
+    ]
+    if comparison.get("preset_mismatch"):
+        lines.append(
+            f"  WARNING: preset mismatch (baseline "
+            f"{comparison.get('baseline_preset')}, current "
+            f"{comparison.get('preset')}); ratios are not comparable"
+        )
+    for row in comparison["passes"]:  # type: ignore[union-attr]
+        name = row["name"]
+        if row.get("baseline_s") is None:
+            lines.append(
+                f"  {name:<14} {row['current_s']:>8.2f}s  (no baseline pass)"
+            )
+            continue
+        ratio = row.get("ratio")
+        mark = "  REGRESSED" if row.get("regressed") else ""
+        lines.append(
+            f"  {name:<14} {row['baseline_s']:>8.2f}s -> "
+            f"{row['current_s']:>8.2f}s  "
+            f"({'x' + format(ratio, '.2f') if ratio is not None else '?'})"
+            f"{mark}"
+        )
+        worst = [
+            e for e in row.get("experiments", [])[:movers]
+            if e["delta_s"] > 0
+        ]
+        for exp in worst:
+            lines.append(
+                f"      {exp['name']:<14} {exp['baseline_s']:>7.2f}s -> "
+                f"{exp['current_s']:>7.2f}s  (+{exp['delta_s']:.2f}s)"
+            )
+    if comparison["regressions"]:
+        lines.append(
+            "  FAIL: regressed passes: "
+            + ", ".join(comparison["regressions"])  # type: ignore[arg-type]
+        )
+    else:
+        lines.append("  OK: no pass regressed beyond the threshold")
+    return "\n".join(lines)

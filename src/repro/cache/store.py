@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from repro import obs
 from repro.aging.replay import ReplayResult
+from repro.obs import events as obs_events
 from repro.analysis.timeline import DailySample, Timeline
 from repro.cache.keys import CacheKey
 from repro.ffs.image import filesystem_from_document, filesystem_to_document
@@ -114,9 +115,15 @@ class ArtifactCache:
         """
         document = self._read_entry(key)
         metric = obs.metrics_or_none()
+        events = obs.events_or_none()
         if document is None:
             if metric is not None:
                 metric.counter("cache.misses").inc()
+            if events is not None:
+                events.emit(
+                    obs_events.CACHE_MISS, hint=key.hint,
+                    digest=key.digest[:16], reason="absent",
+                )
             return None
         verify = verify or os.environ.get("REPRO_CACHE_VERIFY", "") == "1"
         try:
@@ -125,9 +132,18 @@ class ArtifactCache:
             # A corrupt payload is a miss, not a failure mode.
             if metric is not None:
                 metric.counter("cache.load_errors").inc()
+            if events is not None:
+                events.emit(
+                    obs_events.CACHE_MISS, hint=key.hint,
+                    digest=key.digest[:16], reason="corrupt",
+                )
             return None
         if metric is not None:
             metric.counter("cache.hits").inc()
+        if events is not None:
+            events.emit(
+                obs_events.CACHE_HIT, hint=key.hint, digest=key.digest[:16],
+            )
         return result
 
     def save_replay(self, key: CacheKey, result: ReplayResult) -> Optional[Path]:

@@ -15,16 +15,21 @@ Subcommands:
 * ``cache``      — inspect (``ls``) or drop (``clear``) the persistent
   artifact cache that makes warm reruns fast.
 * ``bench``      — time the suite cold/warm/parallel and record the
-  result as ``BENCH_<date>.json``.
+  result as ``BENCH_<date>.json``; ``--compare`` diffs two reports
+  instead and exits non-zero on a regression past ``--threshold``.
+* ``report``     — join a run's telemetry artifacts (manifest + event
+  log + trace) into one self-contained offline HTML page.
 
 Every subcommand takes ``--preset tiny|small|paper`` (default small)
-plus the telemetry pair ``--metrics FILE`` (write a JSON run manifest:
-config + environment + metrics) and ``--trace FILE`` (write the span
-trace as JSONL).  Telemetry is off — a no-op — unless one of the two
-flags is given.  Subcommands that age file systems also take
-``--no-cache`` / ``--cache-dir DIR`` to control the persistent
-artifact cache (see :mod:`repro.cache`), and ``experiment all`` takes
-``--jobs N`` to fan the suite across worker processes.
+plus the telemetry flags ``--metrics FILE`` (write a JSON run manifest:
+config + environment + metrics), ``--trace FILE`` (write the span
+trace as JSONL), ``--events FILE`` (write the typed event log as
+JSONL), and ``--profile`` (per-phase cProfile attribution, folded into
+the manifest and printed to stderr).  Telemetry is off — a no-op —
+unless one of those flags is given.  Subcommands that age file systems
+also take ``--no-cache`` / ``--cache-dir DIR`` to control the
+persistent artifact cache (see :mod:`repro.cache`), and ``experiment
+all`` takes ``--jobs N`` to fan the suite across worker processes.
 """
 
 from __future__ import annotations
@@ -59,7 +64,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         enabled=False if getattr(args, "no_cache", False) else None,
         directory=getattr(args, "cache_dir", None),
     )
-    if not (getattr(args, "metrics", None) or getattr(args, "trace", None)):
+    wants_telemetry = (
+        getattr(args, "metrics", None)
+        or getattr(args, "trace", None)
+        or getattr(args, "events", None)
+        or getattr(args, "profile", False)
+    )
+    # `report` consumes telemetry files; its --events is an input path,
+    # not a capture request, so it opts out of the session entirely.
+    if getattr(args, "_no_telemetry", False) or not wants_telemetry:
         return args.handler(args)
     return _run_with_telemetry(args)
 
@@ -68,17 +81,31 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
     """Run one subcommand under an active telemetry session.
 
     The whole invocation becomes the root span; afterwards the metrics
-    snapshot is sealed into a run manifest (``--metrics``) and the span
-    trace is written as JSONL (``--trace``).
+    snapshot is sealed into a run manifest (``--metrics``), the span
+    trace is written as JSONL (``--trace``), the event log is written
+    as JSONL (``--events``), and the per-phase profile is folded into
+    the manifest and printed to stderr (``--profile``).
     """
-    with obs.session() as (registry, tracer):
+    events_log = obs.EventLog() if getattr(args, "events", None) else None
+    profiler = obs.PhaseProfiler() if getattr(args, "profile", False) else None
+    with obs.session(events=events_log, profiler=profiler) as (registry, tracer):
         manifest = obs.RunManifest(
             command=args.command, config=_manifest_config(args)
         )
         start = time.perf_counter()
         with tracer.span(f"cli.{args.command}", preset=getattr(args, "preset", None)):
-            code = args.handler(args)
+            if profiler is not None:
+                with profiler.phase(f"cli.{args.command}"):
+                    code = args.handler(args)
+            else:
+                code = args.handler(args)
         manifest.finish(time.perf_counter() - start, registry.snapshot())
+        manifest.timings = dict(getattr(args, "_timings", {}) or {})
+        if profiler is not None:
+            from repro.obs.profiling import render_profile
+
+            manifest.profile = profiler.report()
+            print(render_profile(manifest.profile), file=sys.stderr)
         if args.metrics:
             with open(args.metrics, "w") as fp:
                 manifest.dump(fp)
@@ -89,6 +116,16 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
             print(
                 f"[obs] wrote {spans} spans to {args.trace}", file=sys.stderr
             )
+        if events_log is not None:
+            with open(args.events, "w") as fp:
+                count = events_log.write_jsonl(fp)
+            dropped = (
+                f" ({events_log.dropped} dropped)" if events_log.dropped else ""
+            )
+            print(
+                f"[obs] wrote {count} events to {args.events}{dropped}",
+                file=sys.stderr,
+            )
     return code
 
 
@@ -97,7 +134,9 @@ def _manifest_config(args: argparse.Namespace) -> dict:
     return {
         key: value
         for key, value in sorted(vars(args).items())
-        if key not in ("handler", "command", "metrics", "trace")
+        if key not in ("handler", "command", "metrics", "trace", "events",
+                       "profile")
+        and not key.startswith("_")
         and not callable(value)
     }
 
@@ -227,7 +266,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", metavar="FILE", default=None,
         help="report path (default: BENCH_<date>.json)",
     )
+    p_bench.add_argument(
+        "--compare", metavar="BASELINE", nargs="?", const="", default=None,
+        help="skip benching; diff the newest BENCH_*.json against "
+        "BASELINE (or, with no value, against the second-newest). "
+        "Exits 1 when a pass regressed past --threshold",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="regression threshold for --compare as a fraction "
+        "(default: 0.25 = 25%% slower fails)",
+    )
     p_bench.set_defaults(handler=_cmd_bench)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a run's telemetry artifacts as one offline HTML page",
+    )
+    p_report.add_argument(
+        "manifest", help="run manifest from a --metrics run"
+    )
+    p_report.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="event log (JSONL) from the same run's --events",
+    )
+    p_report.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="span trace (JSONL) from the same run's --trace",
+    )
+    p_report.add_argument(
+        "--compare", metavar="MANIFEST", default=None,
+        help="second run manifest to overlay (e.g. the other policy)",
+    )
+    p_report.add_argument(
+        "--compare-events", metavar="FILE", default=None,
+        help="event log of the --compare run",
+    )
+    p_report.add_argument(
+        "--bench-dir", metavar="DIR", default=None,
+        help="directory of BENCH_*.json reports for the history strip",
+    )
+    p_report.add_argument(
+        "--output", metavar="FILE", default="run-report.html",
+        help="HTML output path (default: run-report.html)",
+    )
+    p_report.set_defaults(handler=_cmd_report, _no_telemetry=True)
 
     for sub_parser in (p_age, p_fsck, p_wl, p_exp, p_free, p_stats,
                        p_abl, p_prof, p_cache, p_bench):
@@ -254,6 +337,16 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", metavar="FILE", default=None,
         help="capture telemetry and write the span trace as JSONL",
+    )
+    parser.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="capture telemetry and write the typed event log as JSONL "
+        "(render it with `repro-ffs report`)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile each phase with cProfile; fold the top offenders "
+        "into the --metrics manifest and print them to stderr",
     )
 
 
@@ -378,10 +471,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             first = False
             times[name] = elapsed
             print(f"[obs] {name}: {elapsed:.1f}s", file=sys.stderr, flush=True)
+        args._timings = dict(times)  # sealed into the --metrics manifest
         if getattr(args, "slowest", False):
             print(f"[obs] {slowest_summary(times)}", file=sys.stderr, flush=True)
         return 0
     result, elapsed = run_one_timed(args.name, args.preset)
+    args._timings = {args.name: elapsed}
     print(result.render())  # type: ignore[attr-defined]
     print(f"[obs] {args.name}: {elapsed:.1f}s", file=sys.stderr, flush=True)
     if args.csv:
@@ -473,6 +568,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if not (name.startswith("disk.") and data["type"] == "counter")
     }
     print(render_metrics(other))
+    if manifest.timings:
+        rows = [
+            (name, f"{wall:.2f}")
+            for name, wall in sorted(
+                manifest.timings.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        print()
+        print(render_table(
+            ["experiment", "wall (s)"], rows, title="Experiment wall times",
+        ))
     return 0
 
 
@@ -509,6 +615,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.suite import render_report, run_bench
     from repro.obs.export import write_json
 
+    if getattr(args, "compare", None) is not None:
+        return _bench_compare(args)
     report = run_bench(
         preset=args.preset,
         jobs=args.jobs,
@@ -519,6 +627,86 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_json(fp, report)
     print(render_report(report))
     print(f"wrote report to {output}")
+    return 0
+
+
+def _bench_compare(args: argparse.Namespace) -> int:
+    """The ``bench --compare`` regression gate.
+
+    Exit codes: 0 — no regression; 1 — at least one pass regressed past
+    the threshold; 2 — usage error (missing/unreadable reports).
+    """
+    from pathlib import Path
+
+    from repro.bench.compare import (
+        DEFAULT_THRESHOLD,
+        compare_reports,
+        find_reports,
+        load_report,
+        render_comparison,
+    )
+
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    if threshold < 0:
+        print("bench --compare: threshold must be non-negative", file=sys.stderr)
+        return 2
+    reports = find_reports(".")
+    try:
+        if args.compare:
+            baseline_path = Path(args.compare)
+            baseline = load_report(baseline_path)
+            candidates = [
+                p for p in reports if p.resolve() != baseline_path.resolve()
+            ]
+            if not candidates:
+                print(
+                    "bench --compare: no BENCH_*.json to compare against "
+                    f"{baseline_path} (run `repro-ffs bench` first)",
+                    file=sys.stderr,
+                )
+                return 2
+            current_path = candidates[-1]
+        else:
+            if len(reports) < 2:
+                print(
+                    "bench --compare: need at least two BENCH_*.json reports "
+                    f"(found {len(reports)})",
+                    file=sys.stderr,
+                )
+                return 2
+            baseline_path, current_path = reports[-2], reports[-1]
+            baseline = load_report(baseline_path)
+        current = load_report(current_path)
+    except (OSError, ValueError) as exc:
+        print(f"bench --compare: {exc}", file=sys.stderr)
+        return 2
+    comparison = compare_reports(baseline, current, threshold=threshold)
+    print(f"baseline: {baseline_path}")
+    print(f"current:  {current_path}")
+    print(render_comparison(comparison))
+    return 1 if comparison["regressions"] else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report_html import report_from_files
+
+    try:
+        html_text = report_from_files(
+            args.manifest,
+            events_path=args.events,
+            trace_path=args.trace,
+            compare_manifest_path=args.compare,
+            compare_events_path=args.compare_events,
+            bench_dir=args.bench_dir,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    with open(args.output, "w") as fp:
+        fp.write(html_text)
+    print(f"wrote report to {args.output}")
     return 0
 
 

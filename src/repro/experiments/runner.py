@@ -15,9 +15,11 @@ gauge so run manifests record where the time went.
 from __future__ import annotations
 
 import time
+from contextlib import ExitStack
 from typing import Callable, Dict, Iterator, List, Tuple
 
 from repro import obs
+from repro.obs import events as obs_events
 from repro.experiments import (
     empty_vs_aged,
     lfs_compare,
@@ -63,13 +65,26 @@ def run_one_timed(name: str, preset: str = "small") -> Tuple[object, float]:
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
     tr = obs.tracer_or_none()
+    ev = obs.events_or_none()
+    prof = obs.profiler_or_none()
     start = time.perf_counter()
-    if tr is None:
+    if tr is None and ev is None and prof is None:
         result = runner(preset)
         return result, time.perf_counter() - start
-    with tr.span(f"experiment.{name}", preset=preset):
+    if ev is not None:
+        ev.emit(obs_events.EXPERIMENT_START, name=name, preset=preset)
+    with ExitStack() as stack:
+        if tr is not None:
+            stack.enter_context(tr.span(f"experiment.{name}", preset=preset))
+        if prof is not None:
+            stack.enter_context(prof.phase(f"experiment.{name}"))
         result = runner(preset)
     elapsed = time.perf_counter() - start
+    if ev is not None:
+        ev.emit(
+            obs_events.EXPERIMENT_END, name=name, preset=preset,
+            wall_s=round(elapsed, 4),
+        )
     obs.metrics().gauge(f"experiment.{name}.wall_s").set(elapsed)
     return result, elapsed
 

@@ -19,6 +19,7 @@ from repro.errors import OutOfSpaceError
 from repro.ffs.cg import CylinderGroup
 from repro.ffs.inode import Inode
 from repro.ffs.superblock import Superblock
+from repro.obs import events as obs_events
 
 
 class AllocPolicy:
@@ -34,6 +35,7 @@ class AllocPolicy:
         # path (metric names carry the policy so aged-both runs stay
         # distinguishable in one registry).
         self._m = obs.metrics_or_none()
+        self._e = obs.events_or_none()
         if self._m is not None:
             prefix = f"alloc.{self.name}"
             self._c_data = self._m.counter(f"{prefix}.data_blocks")
@@ -61,7 +63,7 @@ class AllocPolicy:
             except OutOfSpaceError:
                 return None
 
-        if self._m is None:
+        if self._m is None and self._e is None:
             return self.sb.hashalloc(inode.alloc_cg, attempt)
         groups_tried = 0
 
@@ -70,11 +72,23 @@ class AllocPolicy:
             groups_tried += 1
             return attempt(cg)
 
-        block = self.sb.hashalloc(inode.alloc_cg, counted)
-        self._c_data.inc()
+        home_cg = inode.alloc_cg
+        block = self.sb.hashalloc(home_cg, counted)
+        if self._m is not None:
+            self._c_data.inc()
         if groups_tried > 1:
             # The preferred group was full: ffs_hashalloc rehashed.
-            self._c_fallback.inc()
+            if self._m is not None:
+                self._c_fallback.inc()
+            if self._e is not None:
+                self._e.emit(
+                    obs_events.ALLOC_FALLBACK,
+                    policy=self.name,
+                    ino=inode.ino,
+                    from_cg=home_cg,
+                    to_cg=self.params.cg_of_block(block),
+                    groups_tried=groups_tried,
+                )
         return block
 
     def alloc_indirect_block(self, inode: Inode) -> int:

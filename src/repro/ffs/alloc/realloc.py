@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from repro.ffs.alloc.policy import AllocPolicy, run_is_contiguous
 from repro.ffs.inode import Inode
+from repro.obs import events as obs_events
 
 
 class ReallocPolicy(AllocPolicy):
@@ -135,6 +136,17 @@ class ReallocPolicy(AllocPolicy):
             # How far the cluster travelled: the gathered blocks moved
             # from the window's first address to the target run.
             self._h_distance.observe(abs(target - window[0]))
+        if self._e is not None:
+            self._e.emit(
+                obs_events.REALLOC_CLUSTER,
+                policy=self.name,
+                ino=inode.ino,
+                start_lbn=start_lbn,
+                length=length,
+                from_block=window[0],
+                to_block=target,
+                distance=abs(target - window[0]),
+            )
         cg.alloc_cluster(target, length)
         for old in window:
             self.sb.cg_of_block(old).free_block(old)

@@ -45,6 +45,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Optional, Tuple
 
+from repro.obs.events import EventLog
 from repro.obs.manifest import RunManifest, environment_info
 from repro.obs.metrics import (
     NULL_REGISTRY,
@@ -54,6 +55,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.profiling import PhaseProfiler
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -67,6 +69,8 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "EventLog",
+    "PhaseProfiler",
     "RunManifest",
     "environment_info",
     "enabled",
@@ -77,10 +81,14 @@ __all__ = [
     "tracer",
     "metrics_or_none",
     "tracer_or_none",
+    "events_or_none",
+    "profiler_or_none",
 ]
 
 _registry: Optional[MetricsRegistry] = None
 _tracer: Optional[Tracer] = None
+_events: Optional[EventLog] = None
+_profiler: Optional[PhaseProfiler] = None
 
 
 def enabled() -> bool:
@@ -91,44 +99,60 @@ def enabled() -> bool:
 def enable(
     registry: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    events: Optional[EventLog] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ) -> Tuple[MetricsRegistry, Tracer]:
     """Activate telemetry; returns the active (registry, tracer) pair.
 
     Objects constructed *after* this call pick up the active registry;
     objects constructed before keep their no-op handles.  Passing
     explicit instances injects them (tests do this); otherwise fresh
-    ones are created.
+    ones are created.  The event log and profiler are **opt-in**: they
+    stay off unless an instance is passed (the CLI builds one for
+    ``--events`` / ``--profile``), so a plain metrics/trace session
+    pays nothing for them.
     """
-    global _registry, _tracer
+    global _registry, _tracer, _events, _profiler
     _registry = registry if registry is not None else MetricsRegistry()
     _tracer = tracer if tracer is not None else Tracer()
+    _events = events
+    _profiler = profiler
     return _registry, _tracer
 
 
 def disable() -> None:
     """Deactivate telemetry; instrumented code reverts to the no-op path."""
-    global _registry, _tracer
+    global _registry, _tracer, _events, _profiler
     _registry = None
     _tracer = None
+    _events = None
+    _profiler = None
 
 
 @contextmanager
 def session(
     registry: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
+    events: Optional[EventLog] = None,
+    profiler: Optional[PhaseProfiler] = None,
 ):
     """Enable telemetry for a ``with`` block, restoring the prior state."""
-    prior = (_registry, _tracer)
-    pair = enable(registry, tracer)
+    prior = (_registry, _tracer, _events, _profiler)
+    pair = enable(registry, tracer, events, profiler)
     try:
         yield pair
     finally:
         _restore(prior)
 
 
-def _restore(prior: Tuple[Optional[MetricsRegistry], Optional[Tracer]]) -> None:
-    global _registry, _tracer
-    _registry, _tracer = prior
+def _restore(
+    prior: Tuple[
+        Optional[MetricsRegistry], Optional[Tracer],
+        Optional[EventLog], Optional[PhaseProfiler],
+    ],
+) -> None:
+    global _registry, _tracer, _events, _profiler
+    _registry, _tracer, _events, _profiler = prior
 
 
 def metrics() -> "MetricsRegistry | NullRegistry":
@@ -149,3 +173,17 @@ def metrics_or_none() -> Optional[MetricsRegistry]:
 def tracer_or_none() -> Optional[Tracer]:
     """The active tracer, or None — the hot-path guard form."""
     return _tracer
+
+
+def events_or_none() -> Optional[EventLog]:
+    """The active event log, or None — the hot-path guard form.
+
+    None both when telemetry is fully off and when a session is active
+    without an event log (metrics/trace only).
+    """
+    return _events
+
+
+def profiler_or_none() -> Optional[PhaseProfiler]:
+    """The active phase profiler, or None when not profiling."""
+    return _profiler

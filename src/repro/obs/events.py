@@ -1,0 +1,164 @@
+"""Streaming event log: typed, bounded, append-only JSONL telemetry.
+
+Metrics (:mod:`repro.obs.metrics`) answer "how much, in total"; spans
+(:mod:`repro.obs.trace`) answer "where did the wall time go".  The event
+log answers the question the paper's figures actually plot: *what
+happened, in order* — the layout score at the end of every simulated
+day, each allocator fallback, each cluster relocation, each cache
+hit/miss.  One :class:`EventLog` collects typed rows for one telemetry
+session; ``repro-ffs ... --events FILE`` writes them as JSONL and
+``repro-ffs report`` renders them (sparklines of the Figure 1/2 curves,
+among other things) without replaying months of simulated time.
+
+The log is **bounded**: past :attr:`EventLog.max_events` rows, new
+events are counted in :attr:`EventLog.dropped` instead of stored, so an
+unexpectedly chatty run degrades to a truncated log rather than
+unbounded memory.  Every row carries a monotonically increasing ``seq``
+so order survives serialisation, and :meth:`EventLog.adopt_rows` grafts
+a worker process's rows into the parent log in arrival order (renumbered
+into the parent's sequence), mirroring ``Tracer.adopt_rows``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, TextIO
+
+SCHEMA = "repro.obs.events/v1"
+
+#: One row per simulated aging day: layout score, utilization, and the
+#: free-space / per-CG occupancy summary (the Figure 1/2 signal).
+DAY_SAMPLE = "day_sample"
+#: ``ffs_hashalloc`` left the preferred cylinder group (it was full).
+ALLOC_FALLBACK = "alloc_fallback"
+#: The realloc policy moved a fragmented window into a free cluster.
+REALLOC_CLUSTER = "realloc_cluster"
+#: Persistent artifact cache served an aged file system.
+CACHE_HIT = "cache_hit"
+#: Persistent artifact cache had no usable entry.
+CACHE_MISS = "cache_miss"
+#: One experiment began / finished (``wall_s`` on the end event).
+EXPERIMENT_START = "experiment_start"
+EXPERIMENT_END = "experiment_end"
+#: A parallel worker's event batch was grafted into this log.
+WORKER_MERGE = "worker_merge"
+
+EVENT_TYPES = frozenset({
+    DAY_SAMPLE,
+    ALLOC_FALLBACK,
+    REALLOC_CLUSTER,
+    CACHE_HIT,
+    CACHE_MISS,
+    EXPERIMENT_START,
+    EXPERIMENT_END,
+    WORKER_MERGE,
+})
+
+__all__ = [
+    "EventLog",
+    "read_jsonl_events",
+    "EVENT_TYPES",
+    "SCHEMA",
+    "DAY_SAMPLE",
+    "ALLOC_FALLBACK",
+    "REALLOC_CLUSTER",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "EXPERIMENT_START",
+    "EXPERIMENT_END",
+    "WORKER_MERGE",
+]
+
+
+class EventLog:
+    """A bounded, append-only log of typed telemetry events."""
+
+    def __init__(self, max_events: int = 200_000):
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        self.max_events = max_events
+        self._rows: List[Dict[str, object]] = []
+        self._seq = 0
+        #: Events discarded because the log was full.
+        self.dropped = 0
+
+    def emit(self, type: str, **fields: object) -> Optional[Dict[str, object]]:
+        """Append one typed event; returns the stored row (or None when
+        the log is full and the event was dropped).
+
+        ``type`` must be one of :data:`EVENT_TYPES` — a typo'd event
+        name is a bug at the instrumentation site, not a new category.
+        """
+        if type not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {type!r}; choose from {sorted(EVENT_TYPES)}"
+            )
+        self._seq += 1
+        if len(self._rows) >= self.max_events:
+            self.dropped += 1
+            return None
+        row: Dict[str, object] = {"seq": self._seq, "type": type}
+        row.update(fields)
+        self._rows.append(row)
+        return row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All stored rows, in emission order (a shallow copy)."""
+        return list(self._rows)
+
+    def by_type(self, type: str) -> List[Dict[str, object]]:
+        """The stored rows of one event type, in order."""
+        return [row for row in self._rows if row.get("type") == type]
+
+    # ------------------------------------------------------------------
+    # Cross-process adoption
+    # ------------------------------------------------------------------
+
+    def adopt_rows(
+        self, rows: Iterable[Dict[str, object]], **extra: object
+    ) -> int:
+        """Graft another log's :meth:`rows` into this one, in order.
+
+        Sequence numbers are renumbered into this log's sequence (the
+        worker's relative order is preserved); ``extra`` fields (e.g.
+        an ``origin`` tag) are stamped onto every adopted row.  Rows
+        past the bound count as dropped, like local emissions.  Returns
+        the number of rows actually stored.
+        """
+        adopted = 0
+        for row in rows:
+            self._seq += 1
+            if len(self._rows) >= self.max_events:
+                self.dropped += 1
+                continue
+            merged = dict(row)
+            merged["seq"] = self._seq
+            if extra:
+                merged.update(extra)
+            self._rows.append(merged)
+            adopted += 1
+        return adopted
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def write_jsonl(self, fp: TextIO) -> int:
+        """Write one compact JSON object per event; returns the count."""
+        from repro.obs.export import write_jsonl
+
+        return write_jsonl(fp, self._rows)
+
+
+def read_jsonl_events(fp: TextIO) -> List[Dict[str, object]]:
+    """Parse an ``--events`` JSONL file back into rows (blank lines
+    skipped), for the report renderer and tests."""
+    rows: List[Dict[str, object]] = []
+    for line in fp:
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows

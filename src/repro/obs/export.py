@@ -23,6 +23,7 @@ __all__ = [
     "write_jsonl",
     "metrics_to_csv",
     "render_metrics",
+    "bucket_quantile",
 ]
 
 
@@ -42,22 +43,35 @@ def write_jsonl(fp: TextIO, rows: Iterable[Dict[str, object]]) -> int:
     return count
 
 
+def _csv_field(value: object) -> str:
+    """One CSV field, quoted per RFC 4180 when the text needs it."""
+    text = str(value)
+    if any(ch in text for ch in ',"\n\r'):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
 def metrics_to_csv(snapshot: Dict[str, Dict[str, object]]) -> str:
     """Flatten a registry snapshot to ``name,type,field,value`` CSV.
 
     Scalars (counters/gauges) produce one row; histograms produce one
-    row per summary field and one per non-empty bucket.
+    row per summary field and one per non-empty bucket.  Fields
+    containing commas, quotes, or newlines are quoted per RFC 4180, so
+    any registry name round-trips through a CSV reader.
     """
     lines = ["name,type,field,value"]
     for name, data in snapshot.items():
         kind = data["type"]
+        cells = [_csv_field(name), _csv_field(kind)]
         if kind in ("counter", "gauge"):
-            lines.append(f"{name},{kind},value,{data['value']}")
+            lines.append(",".join(cells + ["value", _csv_field(data["value"])]))
             continue
         for field in ("count", "sum", "min", "max", "mean"):
-            lines.append(f"{name},{kind},{field},{data[field]}")
+            lines.append(",".join(cells + [field, _csv_field(data[field])]))
         for bound, count in data["buckets"]:  # type: ignore[union-attr]
-            lines.append(f"{name},{kind},le_{bound},{count}")
+            lines.append(
+                ",".join(cells + [_csv_field(f"le_{bound}"), _csv_field(count)])
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -88,7 +102,9 @@ def render_metrics(snapshot: Dict[str, Dict[str, object]]) -> str:
             _fmt_value(data["mean"]),
             _fmt_value(data["min"]),
             _fmt_value(data["max"]),
-            _fmt_value(_bucket_median(data)),
+            _fmt_value(bucket_quantile(data, 0.5)),
+            _fmt_value(bucket_quantile(data, 0.9)),
+            _fmt_value(bucket_quantile(data, 0.99)),
         )
         for name, data in snapshot.items()
         if data["type"] == "histogram"
@@ -96,7 +112,8 @@ def render_metrics(snapshot: Dict[str, Dict[str, object]]) -> str:
     if histograms:
         blocks.append(
             render_table(
-                ["histogram", "count", "mean", "min", "max", "~p50"],
+                ["histogram", "count", "mean", "min", "max",
+                 "~p50", "~p90", "~p99"],
                 histograms,
                 title="Distributions",
             )
@@ -106,17 +123,30 @@ def render_metrics(snapshot: Dict[str, Dict[str, object]]) -> str:
     return "\n\n".join(blocks)
 
 
-def _bucket_median(data: Dict[str, object]) -> object:
-    """Approximate median from the stored cumulative buckets."""
-    count = data["count"]
+def bucket_quantile(data: Dict[str, object], q: float) -> object:
+    """Approximate ``q``-quantile from a histogram's stored buckets.
+
+    Works on the :meth:`Histogram.to_dict` form (per-bucket counts
+    keyed by upper bound, ``"+inf"`` last).  Interior quantiles return
+    the upper bound of the bucket containing the rank — the usual
+    histogram-quantile approximation; the ``+inf`` bucket and the
+    extremes return the exact recorded min/max.  Returns None for an
+    empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    count = data.get("count", 0)
     if not count:
         return None
+    if q == 0.0:
+        return data.get("min")
+    rank = q * count  # type: ignore[operator]
     seen = 0
-    for bound, n in data["buckets"]:  # type: ignore[union-attr]
+    for bound, n in data.get("buckets", []):  # type: ignore[union-attr]
         seen += n
-        if seen * 2 >= count:  # type: ignore[operator]
-            return bound
-    return data["max"]
+        if seen >= rank:
+            return data.get("max") if bound == "+inf" else bound
+    return data.get("max")
 
 
 def _fmt_value(value: object) -> str:

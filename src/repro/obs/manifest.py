@@ -8,7 +8,11 @@ and *what it observed* (the full metrics snapshot).  ``repro-ffs
 back as text tables.
 
 The schema is versioned so later sessions can evolve it without
-breaking stored artifacts.
+breaking stored artifacts.  v2 adds two optional sections: ``timings``
+(per-experiment wall seconds — the ``--slowest`` data, so it survives
+into the saved artifact instead of living only on stderr) and
+``profile`` (the per-phase top-offenders tables from a ``--profile``
+run).  v1 manifests load fine; the new fields default to empty.
 """
 
 from __future__ import annotations
@@ -18,9 +22,9 @@ import platform
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, TextIO
+from typing import Dict, List, Optional, TextIO
 
-SCHEMA = "repro.obs.manifest/v1"
+SCHEMA = "repro.obs.manifest/v2"
 
 __all__ = ["RunManifest", "environment_info", "SCHEMA"]
 
@@ -48,6 +52,10 @@ class RunManifest:
     wall_seconds: Optional[float] = None
     #: A :meth:`repro.obs.metrics.MetricsRegistry.snapshot`.
     metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Per-unit wall seconds (e.g. experiment name -> seconds), v2.
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: Per-phase top-offenders tables from ``--profile``, v2.
+    profile: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
     schema: str = SCHEMA
 
     def finish(self, wall_seconds: float, metrics: Dict[str, Dict[str, object]]) -> None:
@@ -68,6 +76,8 @@ class RunManifest:
             "started_at": self.started_at,
             "wall_seconds": self.wall_seconds,
             "metrics": self.metrics,
+            "timings": self.timings,
+            "profile": self.profile,
         }
 
     def dump(self, fp: TextIO) -> None:
@@ -87,6 +97,8 @@ class RunManifest:
             started_at=float(data.get("started_at", 0.0)),  # type: ignore[arg-type]
             wall_seconds=data.get("wall_seconds"),  # type: ignore[arg-type]
             metrics=dict(data.get("metrics", {})),  # type: ignore[arg-type]
+            timings=dict(data.get("timings", {})),  # type: ignore[arg-type]
+            profile=dict(data.get("profile", {})),  # type: ignore[arg-type]
             schema=str(schema),
         )
 

@@ -1,0 +1,126 @@
+"""Per-phase ``cProfile`` attribution for the telemetry layer.
+
+``repro-ffs ... --profile`` answers the question a span tree cannot:
+*which functions* inside a slow phase are burning the time.  A
+:class:`PhaseProfiler` keeps one ``cProfile.Profile`` per named phase
+(one per experiment, or one for the whole CLI invocation when nothing
+finer-grained opens a phase) and derives a ``pstats``-style "top
+offenders" table per phase, which the CLI folds into the run manifest
+and prints to stderr.
+
+Phases nest the way spans do: entering an inner phase suspends the
+outer profile and resumes it on exit, so samples are attributed to the
+innermost open phase and never double-counted.  Re-entering a phase
+name accumulates into the same profile (``cProfile`` supports repeated
+enable/disable), which is what a phase that straddles loop iterations
+wants.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from contextlib import contextmanager
+from typing import Dict, List
+
+__all__ = ["PhaseProfiler", "render_profile"]
+
+
+def _format_func(filename: str, line: int, funcname: str) -> str:
+    """Compact ``file:line(func)`` label; builtins keep pstats' form."""
+    if filename == "~":
+        return funcname  # C builtin, e.g. "<built-in method ...>"
+    return f"{os.path.basename(filename)}:{line}({funcname})"
+
+
+class PhaseProfiler:
+    """One ``cProfile.Profile`` per phase, with nested attribution."""
+
+    def __init__(self, top: int = 10):
+        #: Rows per phase in :meth:`report` (the manifest table length).
+        self.top = top
+        self._profiles: Dict[str, cProfile.Profile] = {}
+        self._order: List[str] = []
+        self._stack: List[cProfile.Profile] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        """Profile a block under ``name``, suspending any outer phase."""
+        profile = self._profiles.get(name)
+        if profile is None:
+            profile = cProfile.Profile()
+            self._profiles[name] = profile
+            self._order.append(name)
+        if self._stack:
+            self._stack[-1].disable()
+        self._stack.append(profile)
+        profile.enable()
+        try:
+            yield
+        finally:
+            profile.disable()
+            self._stack.pop()
+            if self._stack:
+                self._stack[-1].enable()
+
+    def phases(self) -> List[str]:
+        """Phase names in first-entered order."""
+        return list(self._order)
+
+    def top_offenders(self, name: str, limit: int = 0) -> List[Dict[str, object]]:
+        """The hottest functions of one phase, by self (tottime) time.
+
+        Each row carries ``function`` (``file:line(func)``), ``ncalls``,
+        ``tottime_s`` and ``cumtime_s``.  Must be called with the phase
+        closed (no profile running).
+        """
+        profile = self._profiles[name]
+        profile.create_stats()
+        stats = pstats.Stats(profile)
+        rows: List[Dict[str, object]] = []
+        for func, (_cc, ncalls, tottime, cumtime, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+            rows.append({
+                "function": _format_func(*func),
+                "ncalls": ncalls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            })
+        rows.sort(key=lambda r: (-r["tottime_s"], r["function"]))  # type: ignore[operator, index]
+        return rows[: (limit or self.top)]
+
+    def report(self) -> Dict[str, List[Dict[str, object]]]:
+        """Top offenders for every phase, in first-entered order.
+
+        This is the structure sealed into the run manifest's
+        ``profile`` field.
+        """
+        return {name: self.top_offenders(name) for name in self._order}
+
+
+def render_profile(report: Dict[str, List[Dict[str, object]]]) -> str:
+    """Aligned text tables of a :meth:`PhaseProfiler.report` (what the
+    CLI prints to stderr after a ``--profile`` run)."""
+    from repro.analysis.report import render_table
+
+    blocks: List[str] = []
+    for phase, rows in report.items():
+        table = [
+            (
+                str(row["function"]),
+                str(row["ncalls"]),
+                f"{row['tottime_s']:.4f}",
+                f"{row['cumtime_s']:.4f}",
+            )
+            for row in rows
+        ]
+        blocks.append(
+            render_table(
+                ["function", "ncalls", "tottime (s)", "cumtime (s)"],
+                table,
+                title=f"profile: {phase}",
+            )
+        )
+    if not blocks:
+        return "(no phases profiled)"
+    return "\n\n".join(blocks)

@@ -1,0 +1,639 @@
+"""Self-contained HTML run reports: ``repro-ffs report``.
+
+Joins one run's telemetry artifacts — the ``--metrics`` manifest, the
+``--events`` JSONL log, the ``--trace`` span JSONL — into a single HTML
+file a reviewer can open offline instead of replaying ten simulated
+months: inline-SVG sparklines of the Figure 1/2 layout-score curves
+(from ``day_sample`` events), bucket histograms straight from the
+manifest's ``Histogram`` snapshots, the span tree with wall and
+simulated time, per-experiment wall times, ``--profile`` attribution
+tables, and a strip of ``BENCH_*.json`` history.  A second
+manifest/event-log pair (``--compare``) overlays its curves for
+original-vs-realloc style comparisons.
+
+Everything is generated with the standard library and embedded inline —
+no scripts, no external fonts, no network fetches — so the artifact
+stays viewable from a mail attachment or a CI artifact store.  Chart
+conventions: one y-axis per chart, categorical series colors assigned
+in fixed order (at most three series per chart, extra series folded
+with a note), thin marks, values carried in text tokens with native
+``<title>`` hover tooltips, and a dark variant selected via
+``prefers-color-scheme`` rather than inverted.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import events as obs_events
+
+__all__ = ["build_report", "report_from_files"]
+
+#: Fixed-order categorical series colors (light, dark) — validated
+#: all-pairs safe for up to three simultaneous series.
+_SERIES_LIGHT = ("#2a78d6", "#eb6834", "#1baf7a")
+_SERIES_DARK = ("#3987e5", "#d95926", "#199e70")
+_MAX_SERIES = len(_SERIES_LIGHT)
+
+_CSS = """
+:root {
+  color-scheme: light dark;
+  --surface: #fcfcfb;
+  --surface-2: #f1f0ec;
+  --ink: #0b0b0b;
+  --ink-2: #52514e;
+  --grid: #dddbd4;
+  --accent: #2a78d6;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #1a1a19;
+    --surface-2: #262624;
+    --ink: #ffffff;
+    --ink-2: #c3c2b7;
+    --grid: #3a3936;
+    --accent: #3987e5;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+  }
+}
+html { background: var(--surface); }
+body {
+  margin: 0 auto; padding: 24px 20px 48px; max-width: 880px;
+  background: var(--surface); color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.meta { color: var(--ink-2); margin: 0 0 4px; }
+section { margin-bottom: 8px; }
+svg text { fill: var(--ink-2); font: 11px system-ui, sans-serif; }
+svg .val { fill: var(--ink); font-weight: 600; }
+.legend { display: flex; gap: 16px; flex-wrap: wrap; margin: 4px 0 8px;
+          color: var(--ink-2); font-size: 12px; align-items: center; }
+.chip { display: inline-block; width: 10px; height: 10px;
+        border-radius: 2px; margin-right: 5px; vertical-align: -1px; }
+table { border-collapse: collapse; margin: 6px 0; }
+th, td { text-align: left; padding: 3px 14px 3px 0; font-size: 13px; }
+th { color: var(--ink-2); font-weight: 600;
+     border-bottom: 1px solid var(--grid); }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+ul.tree { list-style: none; padding-left: 18px; margin: 2px 0; }
+ul.tree > li { padding: 1px 0; }
+ul.tree .t { color: var(--ink-2); }
+.bar { display: inline-block; height: 9px; border-radius: 2px;
+       background: var(--accent); vertical-align: middle; }
+.note { color: var(--ink-2); font-size: 12px; }
+code { background: var(--surface-2); padding: 0 4px; border-radius: 3px; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _nice(value: object) -> str:
+    """Compact numeric label."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.3g}"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int) and abs(value) >= 1000:
+        return f"{value:,}"
+    return str(value)
+
+
+def _fmt_wall(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+# ----------------------------------------------------------------------
+# SVG charts
+# ----------------------------------------------------------------------
+
+
+def _line_chart(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    y_label: str,
+    width: int = 660,
+    height: int = 170,
+    x_label: str = "simulated day",
+) -> str:
+    """Inline-SVG line chart: one y-axis, ≤3 series, hover titles."""
+    shown = list(series[:_MAX_SERIES])
+    folded = len(series) - len(shown)
+    pad_l, pad_r, pad_t, pad_b = 44, 14, 8, 24
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    xs = [x for _, pts in shown for x, _ in pts]
+    ys = [y for _, pts in shown for _, y in pts]
+    if not xs:
+        return '<p class="note">(no samples)</p>'
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1
+    span = (y_max - y_min) or max(abs(y_max), 1e-9) * 0.1
+    y_min, y_max = y_min - 0.05 * span, y_max + 0.05 * span
+
+    def px(x: float) -> float:
+        return pad_l + (x - x_min) / (x_max - x_min) * plot_w
+
+    def py(y: float) -> float:
+        return pad_t + (y_max - y) / (y_max - y_min) * plot_h
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{_esc(y_label)}">'
+    ]
+    # Recessive grid: three horizontal rules + y labels.
+    for frac in (0.0, 0.5, 1.0):
+        y_val = y_min + frac * (y_max - y_min)
+        y_px = py(y_val)
+        parts.append(
+            f'<line x1="{pad_l}" y1="{y_px:.1f}" x2="{width - pad_r}" '
+            f'y2="{y_px:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{pad_l - 6}" y="{y_px + 4:.1f}" '
+            f'text-anchor="end">{_nice(y_val)}</text>'
+        )
+    for x_val in (x_min, (x_min + x_max) / 2, x_max):
+        parts.append(
+            f'<text x="{px(x_val):.1f}" y="{height - 6}" '
+            f'text-anchor="middle">{_nice(x_val)}</text>'
+        )
+    for idx, (label, pts) in enumerate(shown):
+        color = f"var(--series-{idx + 1})"
+        coords = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in pts)
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="2" stroke-linejoin="round"/>'
+        )
+        if pts:
+            lx, ly = pts[-1]
+            parts.append(
+                f'<circle cx="{px(lx):.1f}" cy="{py(ly):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="7" '
+                f'fill="transparent"><title>{_esc(label)} — '
+                f'{_esc(x_label)} {_nice(x)}: {_nice(y)}</title></circle>'
+            )
+    parts.append("</svg>")
+    legend = "".join(
+        f'<span><span class="chip" style="background:var(--series-{i + 1})">'
+        f"</span>{_esc(label)} · {_nice(pts[-1][1]) if pts else '-'}</span>"
+        for i, (label, pts) in enumerate(shown)
+    )
+    fold_note = (
+        f'<span class="note">(+{folded} more series folded)</span>'
+        if folded > 0 else ""
+    )
+    legend_html = (
+        f'<div class="legend">{legend}{fold_note}</div>'
+        if len(shown) > 1 or folded else ""
+    )
+    return "".join(parts) + legend_html
+
+
+def _histogram_chart(
+    name: str, data: Dict[str, object], width: int = 660, height: int = 120
+) -> str:
+    """Inline-SVG bar chart of one Histogram snapshot's buckets."""
+    buckets: List[Tuple[object, int]] = [
+        (bound, int(count)) for bound, count in data.get("buckets", [])  # type: ignore[union-attr]
+    ]
+    if not buckets:
+        return '<p class="note">(no observations)</p>'
+    pad_l, pad_r, pad_t, pad_b = 44, 8, 6, 20
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    peak = max(count for _, count in buckets)
+    n = len(buckets)
+    gap = 2
+    bar_w = max(2.0, (plot_w - gap * (n - 1)) / n)
+    label_every = max(1, (n + 11) // 12)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{_esc(name)}">'
+        f'<line x1="{pad_l}" y1="{pad_t + plot_h}" x2="{width - pad_r}" '
+        f'y2="{pad_t + plot_h}" stroke="var(--grid)" stroke-width="1"/>'
+        f'<text x="{pad_l - 6}" y="{pad_t + 8}" text-anchor="end">'
+        f"{_nice(peak)}</text>"
+    ]
+    for i, (bound, count) in enumerate(buckets):
+        x = pad_l + i * (bar_w + gap)
+        h = max(1.0, plot_h * count / peak) if count else 0.0
+        y = pad_t + plot_h - h
+        r = min(2.0, bar_w / 2, h)
+        label = "+inf" if bound == "+inf" else _nice(bound)
+        if h:
+            # Rounded top corners only; the base stays anchored.
+            parts.append(
+                f'<path d="M{x:.1f},{pad_t + plot_h:.1f} '
+                f'L{x:.1f},{y + r:.1f} Q{x:.1f},{y:.1f} {x + r:.1f},{y:.1f} '
+                f'L{x + bar_w - r:.1f},{y:.1f} '
+                f'Q{x + bar_w:.1f},{y:.1f} {x + bar_w:.1f},{y + r:.1f} '
+                f'L{x + bar_w:.1f},{pad_t + plot_h:.1f} Z" '
+                f'fill="var(--accent)">'
+                f"<title>&#8804; {_esc(label)}: {count:,} observations</title>"
+                f"</path>"
+            )
+        if i % label_every == 0 or i == n - 1:
+            parts.append(
+                f'<text x="{x + bar_w / 2:.1f}" y="{height - 5}" '
+                f'text-anchor="middle">{_esc(label)}</text>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+
+
+def _header_section(manifest: Dict[str, object], compare: bool) -> str:
+    command = manifest.get("command", "?")
+    config = manifest.get("config", {}) or {}
+    env = manifest.get("environment", {}) or {}
+    config_text = " ".join(
+        f"{key}={value}"
+        for key, value in sorted(config.items())  # type: ignore[union-attr]
+        if value is not None and not isinstance(value, (dict, list))
+    )
+    wall = manifest.get("wall_seconds")
+    title = f"repro run report — {command}{' (comparison)' if compare else ''}"
+    return (
+        f"<header><h1>{_esc(title)}</h1>"
+        f'<p class="meta">repro-ffs {_esc(command)} {_esc(config_text)}</p>'
+        f'<p class="meta">wall {_esc(_fmt_wall(wall))} · '  # type: ignore[arg-type]
+        f"python {_esc(env.get('python', '?'))} on "  # type: ignore[union-attr]
+        f"{_esc(env.get('platform', '?'))} · schema "  # type: ignore[union-attr]
+        f"{_esc(manifest.get('schema', '?'))}</p></header>"
+    )
+
+
+def _day_series(
+    rows: Sequence[Dict[str, object]], field: str, suffix: str = ""
+) -> List[Tuple[str, List[Tuple[float, float]]]]:
+    """Per-label (day, field) series from day_sample rows, in first-seen
+    label order."""
+    order: List[str] = []
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        if row.get("type") != obs_events.DAY_SAMPLE or field not in row:
+            continue
+        label = str(row.get("label", "?")) + suffix
+        if label not in series:
+            series[label] = []
+            order.append(label)
+        series[label].append((float(row["day"]), float(row[field])))  # type: ignore[arg-type]
+    return [(label, series[label]) for label in order]
+
+
+def _timeline_section(
+    events: Sequence[Dict[str, object]],
+    compare_events: Sequence[Dict[str, object]],
+) -> str:
+    score = _day_series(events, "layout_score")
+    score += _day_series(compare_events, "layout_score", suffix=" (compare)")
+    if not score:
+        return ""
+    out = [
+        "<section><h2>Layout score by simulated day</h2>",
+        _line_chart(score, y_label="layout score"),
+    ]
+    util = _day_series(events, "utilization")
+    util += _day_series(compare_events, "utilization", suffix=" (compare)")
+    if util:
+        out.append("<h2>Utilization by simulated day</h2>")
+        out.append(_line_chart(util, y_label="utilization", height=120))
+    out.append("</section>")
+    return "".join(out)
+
+
+def _event_summary_section(
+    events: Sequence[Dict[str, object]], dropped: int = 0
+) -> str:
+    if not events:
+        return ""
+    counts: Dict[str, int] = {}
+    for row in events:
+        kind = str(row.get("type", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    rows = "".join(
+        f"<tr><td><code>{_esc(kind)}</code></td>"
+        f'<td class="num">{count:,}</td></tr>'
+        for kind, count in sorted(counts.items())
+    )
+    note = (
+        f'<p class="note">{dropped:,} events dropped at the log bound.</p>'
+        if dropped else ""
+    )
+    return (
+        "<section><h2>Event log</h2><table>"
+        '<tr><th>event type</th><th class="num">count</th></tr>'
+        f"{rows}</table>{note}</section>"
+    )
+
+
+def _histograms_section(manifest: Dict[str, object], cap: int = 8) -> str:
+    metrics = manifest.get("metrics", {}) or {}
+    histograms = [
+        (name, data)
+        for name, data in sorted(metrics.items())  # type: ignore[union-attr]
+        if data.get("type") == "histogram" and data.get("count")
+    ]
+    if not histograms:
+        return ""
+    out = ["<section><h2>Distributions</h2>"]
+    for name, data in histograms[:cap]:
+        out.append(
+            f'<p class="meta"><code>{_esc(name)}</code> — '
+            f"count {data.get('count'):,}, mean {_nice(data.get('mean'))}, "
+            f"min {_nice(data.get('min'))}, max {_nice(data.get('max'))}</p>"
+        )
+        out.append(_histogram_chart(name, data))
+    if len(histograms) > cap:
+        out.append(
+            f'<p class="note">(+{len(histograms) - cap} more histograms '
+            f"in the manifest)</p>"
+        )
+    out.append("</section>")
+    return "".join(out)
+
+
+def _span_tree_section(spans: Sequence[Dict[str, object]], cap: int = 1500) -> str:
+    if not spans:
+        return ""
+    children: Dict[object, List[Dict[str, object]]] = {}
+    ids = {row.get("span_id") for row in spans}
+    roots: List[Dict[str, object]] = []
+    for row in spans:
+        parent = row.get("parent_id")
+        if parent is None or parent not in ids:
+            roots.append(row)
+        else:
+            children.setdefault(parent, []).append(row)
+    emitted = [0]
+
+    def one(row: Dict[str, object]) -> str:
+        wall = _fmt_wall(row.get("wall_elapsed_s"))  # type: ignore[arg-type]
+        sim = row.get("sim_elapsed")
+        sim_text = f" · sim {_nice(sim)}" if sim is not None else ""
+        attrs = row.get("attrs") or {}
+        attr_text = ""
+        if isinstance(attrs, dict) and attrs:
+            pairs = list(attrs.items())[:3]
+            attr_text = " · " + ", ".join(
+                f"{_esc(k)}={_esc(_nice(v))}" for k, v in pairs
+            )
+        return (
+            f"<strong>{_esc(row.get('name', '?'))}</strong> "
+            f'<span class="t">{_esc(wall)}{sim_text}{attr_text}</span>'
+        )
+
+    def render(nodes: List[Dict[str, object]]) -> str:
+        nodes = sorted(nodes, key=lambda r: r.get("span_id") or 0)
+        items: List[str] = []
+        index = 0
+        while index < len(nodes):
+            row = nodes[index]
+            name = row.get("name")
+            run = [row]
+            while (
+                index + len(run) < len(nodes)
+                and nodes[index + len(run)].get("name") == name
+            ):
+                run.append(nodes[index + len(run)])
+            if len(run) > 6:
+                total = sum(
+                    float(r.get("wall_elapsed_s") or 0.0) for r in run
+                )
+                sims = [r.get("sim_elapsed") for r in run]
+                sim_total = sum(float(s) for s in sims if s is not None)
+                sim_text = f" · sim {_nice(sim_total)}" if sim_total else ""
+                items.append(
+                    f"<li>{len(run)} × <strong>{_esc(name)}</strong> "
+                    f'<span class="t">total {_esc(_fmt_wall(total))}'
+                    f"{sim_text}</span></li>"
+                )
+                emitted[0] += 1
+                index += len(run)
+                continue
+            emitted[0] += 1
+            if emitted[0] > cap:
+                items.append('<li class="t">…truncated…</li>')
+                break
+            kids = children.get(row.get("span_id"), [])
+            sub = render(kids) if kids else ""
+            items.append(f"<li>{one(row)}{sub}</li>")
+            index += 1
+        return f'<ul class="tree">{"".join(items)}</ul>'
+
+    return (
+        "<section><h2>Span tree</h2>"
+        + render(roots)
+        + "</section>"
+    )
+
+
+def _timings_section(manifest: Dict[str, object]) -> str:
+    timings = manifest.get("timings", {}) or {}
+    if not timings:
+        return ""
+    peak = max(float(v) for v in timings.values()) or 1.0  # type: ignore[union-attr, arg-type]
+    rows = "".join(
+        f"<tr><td><code>{_esc(name)}</code></td>"
+        f'<td class="num">{_esc(_fmt_wall(float(wall)))}</td>'
+        f'<td><span class="bar" style="width:'
+        f'{max(2, round(180 * float(wall) / peak))}px"></span></td></tr>'
+        for name, wall in sorted(
+            timings.items(), key=lambda kv: (-float(kv[1]), kv[0])  # type: ignore[union-attr, arg-type]
+        )
+    )
+    return (
+        "<section><h2>Experiment wall times</h2><table>"
+        '<tr><th>experiment</th><th class="num">wall</th><th></th></tr>'
+        f"{rows}</table></section>"
+    )
+
+
+def _profile_section(manifest: Dict[str, object]) -> str:
+    profile = manifest.get("profile", {}) or {}
+    if not profile:
+        return ""
+    out = ["<section><h2>Profile (top offenders per phase)</h2>"]
+    for phase, rows in profile.items():  # type: ignore[union-attr]
+        body = "".join(
+            f"<tr><td><code>{_esc(row.get('function'))}</code></td>"
+            f'<td class="num">{_esc(row.get("ncalls"))}</td>'
+            f'<td class="num">{_nice(row.get("tottime_s"))}</td>'
+            f'<td class="num">{_nice(row.get("cumtime_s"))}</td></tr>'
+            for row in rows
+        )
+        out.append(
+            f'<p class="meta"><code>{_esc(phase)}</code></p><table>'
+            '<tr><th>function</th><th class="num">ncalls</th>'
+            '<th class="num">tottime (s)</th><th class="num">cumtime (s)</th>'
+            f"</tr>{body}</table>"
+        )
+    out.append("</section>")
+    return "".join(out)
+
+
+def _bench_section(bench_reports: Sequence[Dict[str, object]]) -> str:
+    if not bench_reports:
+        return ""
+    totals = [
+        float(p.get("total_s", 0.0))  # type: ignore[arg-type]
+        for report in bench_reports
+        for p in report.get("passes", [])  # type: ignore[union-attr]
+    ]
+    peak = max(totals) if totals else 1.0
+    rows: List[str] = []
+    for report in bench_reports:
+        for p in report.get("passes", []):  # type: ignore[union-attr]
+            width = max(2, round(180 * float(p.get("total_s", 0.0)) / peak))
+            rows.append(
+                f"<tr><td>{_esc(report.get('date', '?'))}</td>"
+                f"<td>{_esc(report.get('preset', '?'))}</td>"
+                f"<td><code>{_esc(p.get('name'))}</code></td>"
+                f'<td class="num">{float(p.get("total_s", 0.0)):.2f}s</td>'
+                f'<td><span class="bar" style="width:{width}px"></span>'
+                f"</td></tr>"
+            )
+    return (
+        "<section><h2>Bench history</h2><table>"
+        '<tr><th>date</th><th>preset</th><th>pass</th>'
+        '<th class="num">total</th><th></th></tr>'
+        f"{''.join(rows)}</table></section>"
+    )
+
+
+def _compare_section(
+    manifest: Dict[str, object], compare: Dict[str, object]
+) -> str:
+    def line(m: Dict[str, object]) -> str:
+        config = m.get("config", {}) or {}
+        preset = config.get("preset", "?")  # type: ignore[union-attr]
+        return (
+            f"<td>repro-ffs {_esc(m.get('command', '?'))}</td>"
+            f"<td>{_esc(preset)}</td>"
+            f"<td class=\"num\">{_esc(_fmt_wall(m.get('wall_seconds')))}</td>"  # type: ignore[arg-type]
+        )
+
+    return (
+        "<section><h2>Compared runs</h2><table>"
+        '<tr><th></th><th>command</th><th>preset</th>'
+        '<th class="num">wall</th></tr>'
+        f"<tr><td>primary</td>{line(manifest)}</tr>"
+        f"<tr><td>compare</td>{line(compare)}</tr>"
+        "</table></section>"
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def build_report(
+    manifest: Dict[str, object],
+    events: Optional[Sequence[Dict[str, object]]] = None,
+    spans: Optional[Sequence[Dict[str, object]]] = None,
+    compare_manifest: Optional[Dict[str, object]] = None,
+    compare_events: Optional[Sequence[Dict[str, object]]] = None,
+    bench_reports: Optional[Sequence[Dict[str, object]]] = None,
+    events_dropped: int = 0,
+) -> str:
+    """Render one run (optionally versus a second) as a single HTML page."""
+    events = list(events or [])
+    spans = list(spans or [])
+    compare_events = list(compare_events or [])
+    command = manifest.get("command", "run")
+    sections = [
+        _header_section(manifest, compare=compare_manifest is not None),
+    ]
+    if compare_manifest is not None:
+        sections.append(_compare_section(manifest, compare_manifest))
+    sections.append(_timeline_section(events, compare_events))
+    sections.append(_histograms_section(manifest))
+    sections.append(_timings_section(manifest))
+    sections.append(_span_tree_section(spans))
+    sections.append(_profile_section(manifest))
+    sections.append(_event_summary_section(events, dropped=events_dropped))
+    sections.append(_bench_section(bench_reports or []))
+    body = "".join(s for s in sections if s)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>{_esc(f'repro run report — {command}')}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        f"<body>{body}</body></html>\n"
+    )
+
+
+def report_from_files(
+    manifest_path: str,
+    events_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+    compare_manifest_path: Optional[str] = None,
+    compare_events_path: Optional[str] = None,
+    bench_dir: Optional[str] = None,
+) -> str:
+    """Load the artifacts the CLI names and build the report HTML."""
+    from repro.bench.compare import find_reports, load_report
+    from repro.obs.events import read_jsonl_events
+    from repro.obs.manifest import RunManifest
+
+    with open(manifest_path) as fp:
+        manifest = RunManifest.load(fp).to_dict()
+    events: List[Dict[str, object]] = []
+    spans: List[Dict[str, object]] = []
+    compare_manifest = None
+    compare_events: List[Dict[str, object]] = []
+    if events_path:
+        with open(events_path) as fp:
+            events = read_jsonl_events(fp)
+    if trace_path:
+        with open(trace_path) as fp:
+            spans = read_jsonl_events(fp)
+    if compare_manifest_path:
+        with open(compare_manifest_path) as fp:
+            compare_manifest = RunManifest.load(fp).to_dict()
+    if compare_events_path:
+        with open(compare_events_path) as fp:
+            compare_events = read_jsonl_events(fp)
+    bench_reports: List[Dict[str, object]] = []
+    if bench_dir is not None:
+        for path in find_reports(bench_dir):
+            try:
+                bench_reports.append(load_report(path))
+            except (OSError, ValueError, json.JSONDecodeError):
+                continue
+    return build_report(
+        manifest,
+        events=events,
+        spans=spans,
+        compare_manifest=compare_manifest,
+        compare_events=compare_events,
+        bench_reports=bench_reports,
+    )

@@ -49,6 +49,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import cache, obs
+from repro.obs import events as obs_events
 
 #: The agings ``experiment all`` depends on, as (accessor, policy) pairs.
 _AGING_TASKS: Tuple[Tuple[str, Optional[str]], ...] = (
@@ -75,7 +76,14 @@ def _worker_setup(cache_enabled: bool, cache_dir: str) -> None:
 
 
 def _telemetry_payload(registry, tracer) -> Dict[str, object]:
-    return {"metrics": registry.snapshot(), "spans": tracer.to_rows()}
+    payload: Dict[str, object] = {
+        "metrics": registry.snapshot(), "spans": tracer.to_rows(),
+    }
+    events = obs.events_or_none()
+    if events is not None:
+        payload["events"] = events.rows()
+        payload["events_dropped"] = events.dropped
+    return payload
 
 
 def _warm_aging_task(
@@ -85,6 +93,7 @@ def _warm_aging_task(
     cache_enabled: bool,
     cache_dir: str,
     telemetry: bool,
+    events: bool,
 ) -> Dict[str, object]:
     """Build (and persist) one aged file system in a worker."""
     from repro.experiments import config
@@ -95,7 +104,9 @@ def _warm_aging_task(
         _run_accessor(config, accessor, policy, preset)
         return {"wall": time.perf_counter() - start}
     config.clear_caches()  # rebind instrumented objects to this session
-    with obs.session() as (registry, tracer):
+    with obs.session(
+        events=obs.EventLog() if events else None
+    ) as (registry, tracer):
         with tracer.span(f"parallel.warm.{policy or 'real'}", preset=preset):
             _run_accessor(config, accessor, policy, preset)
         payload = _telemetry_payload(registry, tracer)
@@ -115,6 +126,7 @@ def _experiment_group_task(
     cache_enabled: bool,
     cache_dir: str,
     telemetry: bool,
+    events: bool,
 ) -> Dict[str, object]:
     """Run one affinity group of experiments in a worker, in order."""
     from repro.experiments import config
@@ -132,7 +144,9 @@ def _experiment_group_task(
     if not telemetry:
         return {"results": _run_group()}
     config.clear_caches()  # rebind instrumented objects to this session
-    with obs.session() as (registry, tracer):
+    with obs.session(
+        events=obs.EventLog() if events else None
+    ) as (registry, tracer):
         results = _run_group()
         payload = _telemetry_payload(registry, tracer)
     payload["results"] = results
@@ -152,6 +166,17 @@ def _absorb_telemetry(payload: Dict[str, object], origin: str) -> None:
     tracer = obs.tracer_or_none()
     if tracer is not None and payload.get("spans"):
         tracer.adopt_rows(payload["spans"], origin=origin)  # type: ignore[arg-type]
+    events = obs.events_or_none()
+    if events is not None and "events" in payload:
+        # The merge marker precedes the grafted rows, so a reader of
+        # the combined log can attribute what follows to the worker.
+        rows = payload["events"]
+        events.emit(
+            obs_events.WORKER_MERGE, origin=origin,
+            events=len(rows),  # type: ignore[arg-type]
+            dropped=payload.get("events_dropped", 0),
+        )
+        events.adopt_rows(rows, origin=origin)  # type: ignore[arg-type]
 
 
 def iter_all_parallel(
@@ -172,6 +197,7 @@ def iter_all_parallel(
     cache_enabled = cache.is_enabled()
     cache_dir = str(cache.directory())
     telemetry = obs.enabled()
+    events_on = obs.events_or_none() is not None
     registry = obs.metrics_or_none()
     if registry is not None:
         registry.gauge("parallel.jobs").set(jobs)
@@ -184,7 +210,7 @@ def iter_all_parallel(
             warm = [
                 pool.submit(
                     _warm_aging_task, accessor, policy, preset,
-                    cache_enabled, cache_dir, telemetry,
+                    cache_enabled, cache_dir, telemetry, events_on,
                 )
                 for accessor, policy in _AGING_TASKS
             ]
@@ -203,7 +229,7 @@ def iter_all_parallel(
             if group not in futures:
                 futures[group] = pool.submit(
                     _experiment_group_task, group, preset,
-                    cache_enabled, cache_dir, telemetry,
+                    cache_enabled, cache_dir, telemetry, events_on,
                 )
         absorbed = set()
         for name in EXPERIMENTS:

@@ -1,0 +1,174 @@
+"""Bench regression-gate tests: compare_reports semantics + CLI exits."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_ABS_FLOOR_S,
+    compare_reports,
+    find_reports,
+    load_report,
+    render_comparison,
+)
+from repro.bench.suite import SCHEMA
+from repro.cli import main
+
+
+def _report(date, passes, preset="small"):
+    return {
+        "schema": SCHEMA,
+        "date": date,
+        "preset": preset,
+        "jobs": 2,
+        "passes": [
+            {
+                "name": name,
+                "total_s": total,
+                "experiments": experiments or {},
+            }
+            for name, total, experiments in passes
+        ],
+    }
+
+
+BASE = _report("2026-01-01", [
+    ("cold-serial", 10.0, {"fig1": 4.0, "fig2": 6.0}),
+    ("warm-serial", 4.0, {"fig1": 1.5, "fig2": 2.5}),
+])
+
+
+class TestCompareReports:
+    def test_identical_reports_pass(self):
+        comparison = compare_reports(BASE, BASE)
+        assert comparison["regressions"] == []
+        assert all(not row["regressed"] for row in comparison["passes"])
+        assert "OK:" in render_comparison(comparison)
+
+    def test_regression_past_threshold_fails(self):
+        slow = _report("2026-02-01", [
+            ("cold-serial", 14.0, {"fig1": 4.0, "fig2": 10.0}),
+            ("warm-serial", 4.1, {}),
+        ])
+        comparison = compare_reports(BASE, slow, threshold=0.25)
+        assert comparison["regressions"] == ["cold-serial"]
+        row = next(
+            r for r in comparison["passes"] if r["name"] == "cold-serial"
+        )
+        assert row["regressed"] and row["delta_s"] == 4.0
+        # The worst mover is the experiment that caused it.
+        assert row["experiments"][0]["name"] == "fig2"
+        text = render_comparison(comparison)
+        assert "REGRESSED" in text and "FAIL:" in text
+
+    def test_threshold_is_configurable(self):
+        slower = _report("d", [("cold-serial", 13.0, {})])
+        base = _report("d", [("cold-serial", 10.0, {})])
+        assert compare_reports(base, slower, threshold=0.25)["regressions"]
+        assert not compare_reports(base, slower, threshold=0.5)["regressions"]
+        with pytest.raises(ValueError):
+            compare_reports(base, slower, threshold=-0.1)
+
+    def test_absolute_floor_forgives_jitter_on_tiny_passes(self):
+        # 3x slower but only +0.1s: under the floor, never a regression.
+        base = _report("d", [("warm-parallel", 0.05, {})])
+        jitter = _report("d", [("warm-parallel", 0.15, {})])
+        assert not compare_reports(base, jitter)["regressions"]
+        assert compare_reports(
+            base, jitter, abs_floor_s=0.01
+        )["regressions"] == ["warm-parallel"]
+        assert DEFAULT_ABS_FLOOR_S > 0
+
+    def test_pass_missing_from_baseline_never_gates(self):
+        current = _report("d", [
+            ("cold-serial", 10.0, {}),
+            ("warm-parallel", 99.0, {}),
+        ])
+        comparison = compare_reports(BASE, current)
+        assert comparison["regressions"] == []
+        orphan = next(
+            r for r in comparison["passes"] if r["name"] == "warm-parallel"
+        )
+        assert orphan["baseline_s"] is None
+        assert "no baseline pass" in render_comparison(comparison)
+
+    def test_preset_mismatch_is_flagged(self):
+        other = _report("d", [("cold-serial", 10.0, {})], preset="tiny")
+        comparison = compare_reports(BASE, other)
+        assert comparison["preset_mismatch"]
+        assert "preset mismatch" in render_comparison(comparison)
+
+
+class TestFindAndLoad:
+    def test_find_reports_orders_by_mtime(self, tmp_path):
+        for i, name in enumerate(
+            ["BENCH_2026-03-01.json", "BENCH_ci.json", "BENCH_2026-01-01.json"]
+        ):
+            path = tmp_path / name
+            path.write_text(json.dumps(_report(name, [])))
+            os.utime(path, (1000 + i, 1000 + i))
+        (tmp_path / "not-a-bench.json").write_text("{}")
+        found = [p.name for p in find_reports(tmp_path)]
+        assert found == [
+            "BENCH_2026-03-01.json", "BENCH_ci.json", "BENCH_2026-01-01.json",
+        ]
+
+    def test_load_report_rejects_other_schemas(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError, match="not a bench report"):
+            load_report(path)
+
+
+class TestCliCompare:
+    """Exit codes: 0 clean, 1 regressed, 2 usage error."""
+
+    def _write(self, path, report, mtime):
+        path.write_text(json.dumps(report))
+        os.utime(path, (mtime, mtime))
+
+    def test_newest_two_clean_exits_zero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        self._write(tmp_path / "BENCH_a.json", BASE, 1000)
+        self._write(tmp_path / "BENCH_b.json", BASE, 2000)
+        assert main(["bench", "--compare"]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        slow = _report("2026-02-01", [("cold-serial", 20.0, {})])
+        self._write(tmp_path / "BENCH_a.json", BASE, 1000)
+        self._write(tmp_path / "BENCH_b.json", slow, 2000)
+        assert main(["bench", "--compare"]) == 1
+        assert "FAIL:" in capsys.readouterr().out
+
+    def test_explicit_baseline_vs_newest_other(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        slow = _report("2026-02-01", [("cold-serial", 20.0, {})])
+        # The baseline is newest by mtime; --compare must still treat it
+        # as the baseline and diff the newest *other* report against it.
+        self._write(tmp_path / "BENCH_old.json", slow, 1000)
+        self._write(tmp_path / "BENCH_base.json", BASE, 2000)
+        assert main(["bench", "--compare", "BENCH_base.json"]) == 1
+        out = capsys.readouterr().out
+        assert "BENCH_old.json" in out
+
+    def test_generous_threshold_passes(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        slow = _report("2026-02-01", [("cold-serial", 20.0, {})])
+        self._write(tmp_path / "BENCH_a.json", BASE, 1000)
+        self._write(tmp_path / "BENCH_b.json", slow, 2000)
+        assert main(["bench", "--compare", "--threshold", "1.5"]) == 0
+        capsys.readouterr()
+
+    def test_usage_errors_exit_two(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "--compare"]) == 2  # no reports at all
+        self._write(tmp_path / "BENCH_a.json", BASE, 1000)
+        assert main(["bench", "--compare"]) == 2  # only one report
+        assert main(["bench", "--compare", "missing.json"]) == 2
+        assert main(["bench", "--compare", "--threshold", "-1"]) == 2
+        capsys.readouterr()

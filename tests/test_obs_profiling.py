@@ -1,0 +1,89 @@
+"""PhaseProfiler tests: per-phase attribution, nesting, reporting."""
+
+import pytest
+
+from repro.obs.profiling import PhaseProfiler, render_profile
+
+
+def _spin(n: int) -> int:
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+class TestPhaseProfiler:
+    def test_phase_records_functions(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("work"):
+            _spin(20_000)
+        rows = profiler.top_offenders("work")
+        assert rows
+        assert any("_spin" in str(row["function"]) for row in rows)
+        for row in rows:
+            assert set(row) == {"function", "ncalls", "tottime_s", "cumtime_s"}
+            assert row["tottime_s"] >= 0.0
+            assert row["cumtime_s"] >= row["tottime_s"] - 1e-9
+
+    def test_rows_sorted_by_self_time_and_capped(self):
+        profiler = PhaseProfiler(top=3)
+        with profiler.phase("work"):
+            _spin(20_000)
+            sorted(range(10_000))
+        rows = profiler.top_offenders("work")
+        assert len(rows) <= 3
+        times = [row["tottime_s"] for row in rows]
+        assert times == sorted(times, reverse=True)
+        assert len(profiler.top_offenders("work", limit=1)) == 1
+
+    def test_nested_phase_attributes_to_innermost(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("outer"):
+            with profiler.phase("inner"):
+                _spin(30_000)
+        inner = profiler.top_offenders("inner")
+        assert any("_spin" in str(row["function"]) for row in inner)
+        # The outer phase was suspended during the inner one, so the
+        # spin's self time lives in "inner" only.
+        outer_spin = [
+            row for row in profiler.top_offenders("outer", limit=100)
+            if "_spin" in str(row["function"])
+        ]
+        assert not outer_spin
+        assert profiler.phases() == ["outer", "inner"]
+
+    def test_reentering_a_phase_accumulates(self):
+        profiler = PhaseProfiler()
+        for _ in range(2):
+            with profiler.phase("work"):
+                _spin(10_000)
+        rows = [
+            row for row in profiler.top_offenders("work")
+            if "_spin" in str(row["function"])
+        ]
+        assert rows and rows[0]["ncalls"] == 2
+
+    def test_report_and_render(self):
+        profiler = PhaseProfiler(top=5)
+        with profiler.phase("alpha"):
+            _spin(5_000)
+        with profiler.phase("beta"):
+            _spin(5_000)
+        report = profiler.report()
+        assert list(report) == ["alpha", "beta"]
+        text = render_profile(report)
+        assert "profile: alpha" in text
+        assert "tottime (s)" in text
+        assert render_profile({}) == "(no phases profiled)"
+
+    def test_exception_still_closes_the_phase(self):
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.phase("broken"):
+                raise RuntimeError("boom")
+        # A closed phase can be reported (create_stats would fail on a
+        # still-running profile) and the stack is clean for the next one.
+        assert profiler.top_offenders("broken") is not None
+        with profiler.phase("next"):
+            _spin(1_000)
+        assert "next" in profiler.report()

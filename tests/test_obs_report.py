@@ -1,0 +1,196 @@
+"""HTML run-report tests: self-containment, sections, escaping, CLI."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.report_html import build_report
+
+
+@pytest.fixture
+def manifest():
+    return {
+        "schema": "repro.obs.manifest/v2",
+        "command": "experiment",
+        "config": {"preset": "tiny", "name": "all"},
+        "environment": {"python": "3.11.7", "platform": "linux"},
+        "started_at": 1_700_000_000.0,
+        "wall_seconds": 12.5,
+        "metrics": {
+            "disk.io_ms": {
+                "type": "histogram", "count": 10, "sum": 55.0,
+                "min": 1.0, "max": 10.0, "mean": 5.5,
+                "buckets": [[2, 2], [5, 3], [10, 5], ["+inf", 0]],
+            },
+        },
+        "timings": {"fig1": 2.5, "fig2": 10.0},
+        "profile": {
+            "experiment.fig1": [
+                {"function": "replay.py:10(apply)", "ncalls": 4,
+                 "tottime_s": 1.25, "cumtime_s": 2.0},
+            ],
+        },
+    }
+
+
+@pytest.fixture
+def day_events():
+    rows = []
+    for day in range(5):
+        for label, score in (("FFS", 1.0 - day * 0.05),
+                             ("Realloc", 1.0 - day * 0.02)):
+            rows.append({
+                "seq": len(rows) + 1, "type": "day_sample", "label": label,
+                "day": day, "layout_score": score,
+                "utilization": 0.1 * day,
+            })
+    return rows
+
+
+@pytest.fixture
+def spans():
+    return [
+        {"span_id": 1, "parent_id": None, "name": "cli.experiment",
+         "wall_elapsed_s": 12.5, "sim_elapsed": None, "attrs": {}},
+        {"span_id": 2, "parent_id": 1, "name": "experiment.fig1",
+         "wall_elapsed_s": 2.5, "sim_elapsed": 4.0,
+         "attrs": {"preset": "tiny"}},
+    ]
+
+
+class TestBuildReport:
+    def test_contains_every_section(self, manifest, day_events, spans):
+        html = build_report(manifest, events=day_events, spans=spans)
+        for needle in (
+            "<svg", "Layout score", "Utilization", "Distributions",
+            "disk.io_ms", "Span tree", "experiment.fig1",
+            "Experiment wall times", "Profile", "Event log",
+        ):
+            assert needle in html, f"missing section marker {needle!r}"
+
+    def test_is_self_contained(self, manifest, day_events, spans):
+        html = build_report(manifest, events=day_events, spans=spans)
+        assert html.startswith("<!DOCTYPE html>")
+        for forbidden in ("http://", "https://", "<script", "@import",
+                          "url("):
+            assert forbidden not in html
+
+    def test_two_series_get_a_legend_with_both_labels(
+        self, manifest, day_events
+    ):
+        html = build_report(manifest, events=day_events)
+        assert 'class="legend"' in html
+        assert "FFS" in html and "Realloc" in html
+        # Series colors come from the fixed categorical order.
+        assert "var(--series-1)" in html and "var(--series-2)" in html
+
+    def test_compare_run_overlays_with_suffixed_labels(
+        self, manifest, day_events
+    ):
+        compare_rows = [dict(row) for row in day_events]
+        html = build_report(
+            manifest, events=day_events[:10],
+            compare_manifest=dict(manifest),
+            compare_events=compare_rows[:10],
+        )
+        assert "Compared runs" in html
+        assert "(compare)" in html
+
+    def test_untrusted_text_is_escaped(self, manifest):
+        evil = dict(manifest)
+        evil["command"] = 'experiment <script>alert("x")</script>'
+        rows = [{
+            "seq": 1, "type": "day_sample", "label": "<b>bold</b>",
+            "day": 0, "layout_score": 1.0, "utilization": 0.1,
+        }]
+        html = build_report(evil, events=rows)
+        assert "<script" not in html
+        assert "<b>bold</b>" not in html
+        assert "&lt;b&gt;" in html
+
+    def test_sibling_span_runs_are_folded(self, manifest):
+        spans = [
+            {"span_id": 1, "parent_id": None, "name": "cli.age",
+             "wall_elapsed_s": 5.0, "sim_elapsed": None, "attrs": {}},
+        ] + [
+            {"span_id": i, "parent_id": 1, "name": "replay.day",
+             "wall_elapsed_s": 0.05, "sim_elapsed": 1.0, "attrs": {}}
+            for i in range(2, 52)
+        ]
+        html = build_report(manifest, spans=spans)
+        assert "50 × <strong>replay.day</strong>" in html
+        # Folded: one summary line, not fifty items.
+        assert html.count("replay.day") == 1
+
+    def test_bench_history_strip(self, manifest):
+        reports = [{
+            "schema": "repro.bench/v1", "date": "2026-08-06",
+            "preset": "small",
+            "passes": [
+                {"name": "cold-serial", "total_s": 12.7},
+                {"name": "warm-serial", "total_s": 4.9},
+            ],
+        }]
+        html = build_report(manifest, bench_reports=reports)
+        assert "Bench history" in html
+        assert "cold-serial" in html and "12.70s" in html
+
+    def test_empty_manifest_still_renders(self):
+        html = build_report({"schema": "repro.obs.manifest/v2",
+                             "command": "age"})
+        assert html.startswith("<!DOCTYPE html>")
+        assert "run report" in html
+
+
+class TestReportCli:
+    def test_report_subcommand_end_to_end(self, tmp_path, capsys):
+        manifest = obs.RunManifest(command="experiment",
+                                   config={"preset": "tiny"})
+        manifest.finish(1.0, {})
+        manifest.timings = {"fig1": 1.0}
+        manifest_path = tmp_path / "m.json"
+        with open(manifest_path, "w") as fp:
+            manifest.dump(fp)
+        events_path = tmp_path / "e.jsonl"
+        log = obs.EventLog()
+        for day in range(3):
+            log.emit("day_sample", label="FFS", day=day,
+                     layout_score=1.0 - day * 0.1, utilization=0.2)
+        with open(events_path, "w") as fp:
+            log.write_jsonl(fp)
+        output = tmp_path / "r.html"
+        assert main([
+            "report", str(manifest_path),
+            "--events", str(events_path),
+            "--output", str(output),
+        ]) == 0
+        capsys.readouterr()
+        html = output.read_text()
+        assert "<svg" in html and "Layout score" in html
+
+    def test_missing_manifest_exits_two(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert "report:" in capsys.readouterr().err
+
+    def test_report_does_not_open_a_telemetry_session(
+        self, tmp_path, capsys
+    ):
+        # `report --events` names an *input*; it must not be mistaken
+        # for the capture flag and spin up a session.
+        manifest = obs.RunManifest(command="age")
+        manifest.finish(0.1, {})
+        manifest_path = tmp_path / "m.json"
+        with open(manifest_path, "w") as fp:
+            manifest.dump(fp)
+        events_path = tmp_path / "e.jsonl"
+        events_path.write_text("")
+        assert main([
+            "report", str(manifest_path), "--events", str(events_path),
+            "--output", str(tmp_path / "r.html"),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "[obs]" not in err
+        # The input file was read, not overwritten with a capture log.
+        assert events_path.read_text() == ""
