@@ -78,7 +78,7 @@ def run_bench(
     cold = float(passes[0]["total_s"])  # type: ignore[arg-type]
     report: Dict[str, object] = {
         "schema": SCHEMA,
-        "date": time.strftime("%Y-%m-%d"),
+        "date": time.strftime("%Y-%m-%d"),  # replint: disable=R001  (report date stamp is inherently wall-clock)
         "preset": preset,
         "jobs": jobs,
         # --jobs can only beat serial with cores to spread across;

@@ -82,7 +82,10 @@ class ArtifactCache:
         document = {
             "schema": SCHEMA,
             "key": key.payload,
-            "created_at": time.time(),
+            # Manifest metadata only: created_at is excluded from the
+            # content-address key, so the wall-clock stamp cannot perturb
+            # cache hits or any simulated state.
+            "created_at": time.time(),  # replint: disable=R001  (manifest metadata, outside the content-address key)
             "payload": payload,
         }
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")

@@ -312,6 +312,45 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_report.set_defaults(handler=_cmd_report, _no_telemetry=True)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run replint, the repo-aware static-analysis pass",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON (replint.report/v1) instead of text",
+    )
+    p_lint.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline file for grandfathered findings "
+        "(default: .replint-baseline.json when it exists)",
+    )
+    p_lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file; report every finding",
+    )
+    p_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="absorb the current findings into the baseline file and exit 0",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    p_lint.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print one rule's full documentation and exit",
+    )
+    p_lint.set_defaults(handler=_cmd_lint, _no_telemetry=True)
+
     for sub_parser in (p_age, p_fsck, p_wl, p_exp, p_free, p_stats,
                        p_abl, p_prof, p_cache, p_bench):
         _add_obs(sub_parser)
@@ -708,6 +747,81 @@ def _cmd_report(args: argparse.Namespace) -> int:
         fp.write(html_text)
     print(f"wrote report to {args.output}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """`repro-ffs lint`: exit 0 clean, 1 findings, 2 usage error —
+    the same contract as `bench --compare`."""
+    import json as json_mod
+    from pathlib import Path
+
+    from repro import lint as replint
+    from repro.lint.baseline import DEFAULT_BASELINE
+    from repro.lint.engine import collect_sources
+
+    if args.list_rules:
+        for rule in replint.all_rules():
+            print(f"{rule.rule_id}  {rule.name:<24} {rule.summary}")
+        return 0
+    if args.explain:
+        rule = replint.get_rule(args.explain)
+        if rule is None:
+            print(f"lint: unknown rule {args.explain!r}", file=sys.stderr)
+            return 2
+        print(f"{rule.rule_id} — {rule.name}\n")
+        print(rule.explain())
+        return 0
+
+    rules = None
+    if args.select:
+        rules = []
+        for rule_id in args.select.split(","):
+            rule = replint.get_rule(rule_id.strip())
+            if rule is None:
+                print(f"lint: unknown rule {rule_id.strip()!r}", file=sys.stderr)
+                return 2
+            rules.append(rule)
+
+    paths = [Path(p) for p in args.paths]
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline = None
+    if not args.no_baseline and not args.update_baseline:
+        try:
+            baseline = replint.Baseline.load(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = replint.lint_paths(paths, rules=rules, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"lint: no such path: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        sources = collect_sources(paths)
+        new_baseline = replint.Baseline.from_findings(result.findings, sources)
+        new_baseline.dump(baseline_path)
+        print(
+            f"lint: wrote {len(new_baseline)} grandfathered finding(s) "
+            f"to {baseline_path}"
+        )
+        return 0
+
+    if args.as_json:
+        print(json_mod.dumps(result.to_dict(), indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.format())
+        suppressed = result.pragma_suppressed + result.baseline_suppressed
+        tail = f"{len(result.findings)} finding(s) in {result.files_checked} file(s)"
+        if suppressed:
+            tail += (
+                f" ({result.pragma_suppressed} pragma-waived, "
+                f"{result.baseline_suppressed} baselined)"
+            )
+        print(tail)
+    return 0 if result.clean else 1
 
 
 def _cmd_ablation(args: argparse.Namespace) -> int:

@@ -64,7 +64,7 @@ class DiskModel:
         fs_offset_bytes: int = 0,
         bus_rate_bytes_per_ms: float = 10 * MB / 1000.0,
         initial_angle: float = 0.0,
-    ):
+    ) -> None:
         self.geometry = geometry if geometry is not None else DiskGeometry()
         self.fs_offset = fs_offset_bytes
         self.bus_rate = bus_rate_bytes_per_ms

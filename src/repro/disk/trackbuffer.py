@@ -24,7 +24,7 @@ from __future__ import annotations
 class TrackBuffer:
     """Linear read-ahead window over the disk's byte address space."""
 
-    def __init__(self, capacity_bytes: int, media_rate_bytes_per_ms: float):
+    def __init__(self, capacity_bytes: int, media_rate_bytes_per_ms: float) -> None:
         if capacity_bytes < 0:
             raise ValueError("buffer capacity must be >= 0")
         self.capacity = capacity_bytes

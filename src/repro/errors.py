@@ -22,7 +22,7 @@ class OutOfSpaceError(SimulationError):
     being searched when space ran out (or ``None`` for a global failure).
     """
 
-    def __init__(self, message: str, cg: "int | None" = None):
+    def __init__(self, message: str, cg: "int | None" = None) -> None:
         super().__init__(message)
         self.cg = cg
 

@@ -85,7 +85,9 @@ def run_one_timed(name: str, preset: str = "small") -> Tuple[object, float]:
             obs_events.EXPERIMENT_END, name=name, preset=preset,
             wall_s=round(elapsed, 4),
         )
-    obs.metrics().gauge(f"experiment.{name}.wall_s").set(elapsed)
+    m = obs.metrics_or_none()
+    if m is not None:
+        m.gauge(f"experiment.{name}.wall_s").set(elapsed)
     return result, elapsed
 
 

@@ -12,6 +12,7 @@ cluster of logically sequential dirty blocks is about to reach the disk:
 """
 
 from repro.ffs.alloc.policy import AllocPolicy
+from repro.ffs.superblock import Superblock
 from repro.ffs.alloc.original import OriginalPolicy
 from repro.ffs.alloc.realloc import EagerReallocPolicy, ReallocPolicy
 from repro.ffs.alloc.smart import SmartFallbackPolicy
@@ -24,7 +25,7 @@ POLICIES = {
 }
 
 
-def make_policy(name: str, superblock) -> AllocPolicy:
+def make_policy(name: str, superblock: Superblock) -> AllocPolicy:
     """Instantiate a policy by name (``"ffs"`` or ``"realloc"``)."""
     try:
         cls = POLICIES[name]

@@ -28,7 +28,7 @@ class AllocPolicy:
     #: Registry key; subclasses define ``"ffs"`` / ``"realloc"``.
     name = "base"
 
-    def __init__(self, superblock: Superblock):
+    def __init__(self, superblock: Superblock) -> None:
         self.sb = superblock
         self.params = superblock.params
         # Telemetry handles, captured once; None is the disabled fast

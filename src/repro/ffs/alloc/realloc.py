@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from repro.ffs.alloc.policy import AllocPolicy, run_is_contiguous
 from repro.ffs.inode import Inode
+from repro.ffs.superblock import Superblock
 from repro.obs import events as obs_events
 
 
@@ -35,7 +36,7 @@ class ReallocPolicy(AllocPolicy):
 
     name = "realloc"
 
-    def __init__(self, superblock):
+    def __init__(self, superblock: Superblock) -> None:
         super().__init__(superblock)
         #: Fragmented windows considered for relocation.
         self.relocation_attempts = 0
@@ -197,5 +198,5 @@ class EagerReallocPolicy(ReallocPolicy):
 
     name = "realloc-eager"
 
-    def _quirk_gate(self, inode):
+    def _quirk_gate(self, inode: Inode) -> bool:
         return False

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 class FragBitmap:
     """Per-fragment allocation state for ``nblocks`` blocks."""
 
-    def __init__(self, nblocks: int, frags_per_block: int):
+    def __init__(self, nblocks: int, frags_per_block: int) -> None:
         if nblocks <= 0:
             raise ValueError("bitmap needs at least one block")
         if not 1 <= frags_per_block <= 8:

@@ -31,7 +31,7 @@ FragRef = Tuple[int, int]  # (global block number, fragment offset)
 class CylinderGroup:
     """One cylinder group: free maps, inode table, allocation rotor."""
 
-    def __init__(self, params: FSParams, index: int):
+    def __init__(self, params: FSParams, index: int) -> None:
         if not 0 <= index < params.ncg:
             raise ValueError(f"cylinder group index {index} out of range")
         self.params = params

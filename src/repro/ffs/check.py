@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, Set, Tuple
 
 from repro.errors import ConsistencyError
+from repro.ffs.cg import CylinderGroup
 from repro.ffs.filesystem import FileSystem
 
 
@@ -131,13 +132,15 @@ def _claim(
     expected.add(key)
 
 
-def _check_runs_sorted(cg) -> None:
+def _check_runs_sorted(cg: CylinderGroup) -> None:
     runs = cg.runmap.runs()
-    prev_end = -1
+    prev_end = -2  # so a legitimate first run at block 0 is not "abutting"
     for start, length in runs:
         if length <= 0:
             raise ConsistencyError(f"cg {cg.index} has empty run at {start}")
-        if start <= prev_end:
+        # prev_end is inclusive, so start == prev_end + 1 is abutment
+        # (two runs the map should have merged), not a gap.
+        if start <= prev_end + 1:
             raise ConsistencyError(
                 f"cg {cg.index} run at {start} overlaps or abuts previous "
                 f"(unmerged adjacent runs)"
@@ -147,7 +150,7 @@ def _check_runs_sorted(cg) -> None:
             raise ConsistencyError(f"cg {cg.index} run at {start} overflows group")
 
 
-def _check_frag_index(cg) -> None:
+def _check_frag_index(cg: CylinderGroup) -> None:
     fpb = cg.params.frags_per_block
     for local in range(cg.nblocks):
         free = cg.bitmap.free_in_block(local)

@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 class BlockRunMap:
     """Interval map of free block runs within ``nblocks`` blocks."""
 
-    def __init__(self, nblocks: int, initially_free: bool = True):
+    def __init__(self, nblocks: int, initially_free: bool = True) -> None:
         if nblocks <= 0:
             raise ValueError("run map needs at least one block")
         self.nblocks = nblocks

@@ -60,7 +60,7 @@ class FileSystem:
         params: Optional[FSParams] = None,
         policy: "str | AllocPolicy" = "ffs",
         enforce_reserve: bool = True,
-    ):
+    ) -> None:
         self.params = params if params is not None else FSParams()
         self.sb = Superblock(self.params)
         if isinstance(policy, AllocPolicy):

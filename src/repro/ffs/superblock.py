@@ -28,7 +28,7 @@ T = TypeVar("T")
 class Superblock:
     """Global allocation state: the set of cylinder groups plus totals."""
 
-    def __init__(self, params: FSParams):
+    def __init__(self, params: FSParams) -> None:
         self.params = params
         self.cgs: List[CylinderGroup] = [
             CylinderGroup(params, i) for i in range(params.ncg)

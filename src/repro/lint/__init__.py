@@ -1,0 +1,51 @@
+"""``repro.lint`` — replint, the repo-aware static-analysis pass.
+
+The reproduction's headline guarantees are statements about the *code*,
+not about any particular run: randomness flows only through
+:mod:`repro.rng`, telemetry is reachable only through the nullable
+``*_or_none()`` facades (so the disabled path stays byte-identical),
+library errors are :mod:`repro.errors` types, callables handed to the
+process pool are picklable, and quantities in different units never mix
+silently.  Nothing about running the test suite enforces those
+conventions — a refactor can break them while every test still passes.
+replint checks them mechanically, on every PR.
+
+The pieces:
+
+* :mod:`repro.lint.findings` — the ``file:line:col RULE-ID message``
+  diagnostic record;
+* :mod:`repro.lint.registry` — the rule base class and registry
+  (``repro-ffs lint --list-rules`` / ``--explain RULE``);
+* :mod:`repro.lint.rules` — the shipped rules, R001–R005, each grounded
+  in one of the contracts above;
+* :mod:`repro.lint.pragmas` — inline waivers:
+  ``# replint: disable=R001  (reason)``;
+* :mod:`repro.lint.baseline` — the committed grandfather file for
+  pre-existing findings, so the gate can be adopted without a flag day;
+* :mod:`repro.lint.engine` — file collection, parsing, and the
+  suppression pipeline tying it all together.
+
+CLI: ``repro-ffs lint [PATHS] [--json]``; exit codes follow
+``bench --compare`` (0 clean, 1 findings, 2 usage error).
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintResult, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules, get_rule, register
+
+# Importing the rules package registers the shipped rules.
+from repro.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "register",
+]

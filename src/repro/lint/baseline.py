@@ -1,0 +1,114 @@
+"""Committed baseline for grandfathered findings.
+
+When a new rule lands against an old tree, the pre-existing violations
+would fail every PR until someone fixes them all at once.  The baseline
+breaks that deadlock: ``repro-ffs lint --update-baseline`` records the
+current findings in ``.replint-baseline.json``, the gate stays green,
+and the debt is paid down file by file — the baseline only shrinks.
+
+Fingerprinting is by ``(path, rule id, stripped source-line text)``
+rather than line number, so unrelated edits above a grandfathered
+finding do not un-suppress it, while any edit *to the flagged line
+itself* re-surfaces the finding (the text no longer matches).  Equal
+fingerprints are counted, not set-deduplicated: a baseline with one
+entry absorbs one matching finding, not every identical one.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import PARSE_ERROR, Finding
+
+SCHEMA = "replint.baseline/v1"
+DEFAULT_BASELINE = ".replint-baseline.json"
+
+_Fingerprint = Tuple[str, str, str]
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, counts: Optional["Counter[_Fingerprint]"] = None) -> None:
+        self._counts: Counter[_Fingerprint] = Counter(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    @staticmethod
+    def _fingerprint(finding: Finding, source_lines: Sequence[str]) -> _Fingerprint:
+        if 1 <= finding.line <= len(source_lines):
+            text = source_lines[finding.line - 1].strip()
+        else:
+            text = ""
+        return (finding.path, finding.rule_id, text)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], sources: Dict[str, Sequence[str]]
+    ) -> "Baseline":
+        """Build a baseline absorbing ``findings`` (``--update-baseline``).
+
+        ``sources`` maps repo-relative paths to their source lines.
+        Parse errors are never baselined.
+        """
+        counts: Counter[_Fingerprint] = Counter()
+        for finding in findings:
+            if finding.rule_id == PARSE_ERROR:
+                continue
+            lines = sources.get(finding.path, [])
+            counts[cls._fingerprint(finding, lines)] += 1
+        return cls(counts)
+
+    def filter(
+        self, findings: Sequence[Finding], sources: Dict[str, Sequence[str]]
+    ) -> Tuple[List[Finding], int]:
+        """Drop findings covered by the baseline.
+
+        Returns ``(surviving findings, suppressed count)``.  Consumption
+        is a multiset subtraction: each baseline entry absorbs at most
+        as many findings as its recorded count.
+        """
+        budget = Counter(self._counts)
+        surviving: List[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            if finding.rule_id == PARSE_ERROR:
+                surviving.append(finding)
+                continue
+            fp = self._fingerprint(finding, sources.get(finding.path, []))
+            if budget[fp] > 0:
+                budget[fp] -= 1
+                suppressed += 1
+            else:
+                surviving.append(finding)
+        return surviving, suppressed
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{path}: unknown baseline schema {data.get('schema')!r} "
+                f"(expected {SCHEMA})"
+            )
+        counts: Counter[_Fingerprint] = Counter()
+        for entry in data.get("findings", []):
+            fp = (entry["path"], entry["rule"], entry["line_text"])
+            counts[fp] += int(entry.get("count", 1))
+        return cls(counts)
+
+    def dump(self, path: Path) -> None:
+        """Write the baseline file (sorted, so diffs are readable)."""
+        entries = [
+            {"path": fp[0], "rule": fp[1], "line_text": fp[2], "count": count}
+            for fp, count in sorted(self._counts.items())
+        ]
+        payload = {"schema": SCHEMA, "findings": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n")

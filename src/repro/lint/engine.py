@@ -1,0 +1,162 @@
+"""File collection, parsing, and the suppression pipeline.
+
+:func:`lint_paths` is the whole analyzer as one call: collect ``*.py``
+files under the given paths, parse each, run the selected rules, then
+apply suppression in two layers — inline pragmas first (a deliberate,
+commented waiver at the site), committed baseline second (grandfathered
+debt).  What survives is the lint failure.
+
+Files that do not parse produce a non-suppressible ``E000`` finding:
+an unreadable file can hide anything, so neither pragmas nor the
+baseline may wave it through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import PARSE_ERROR, Finding
+from repro.lint.pragmas import parse_pragmas
+from repro.lint.registry import Rule, all_rules, build_context
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", "node_modules", ".mypy_cache"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    pragma_suppressed: int = 0
+    baseline_suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form (``repro-ffs lint --json``)."""
+        return {
+            "schema": "replint.report/v1",
+            "files_checked": self.files_checked,
+            "pragma_suppressed": self.pragma_suppressed,
+            "baseline_suppressed": self.baseline_suppressed,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand paths to the sorted list of ``*.py`` files under them.
+
+    Hidden directories and the cache/VCS directories in ``_SKIP_DIRS``
+    are skipped.  A path that is itself a ``.py`` file is taken as-is.
+    Raises :class:`FileNotFoundError` for a path that does not exist
+    (the CLI maps that to exit 2).
+    """
+    files: List[Path] = []
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(str(path))
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.relative_to(path).parts
+            if any(p in _SKIP_DIRS or p.startswith(".") for p in parts[:-1]):
+                continue
+            files.append(candidate)
+    # De-duplicate while keeping order (overlapping input paths).
+    seen = set()
+    unique: List[Path] = []
+    for f in files:
+        if f not in seen:
+            seen.add(f)
+            unique.append(f)
+    return unique
+
+
+def _rel_path(path: Path, root: Optional[Path]) -> str:
+    """Repo-relative posix path when possible, else the path as given."""
+    base = root or Path.cwd()
+    try:
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Iterable[Type[Rule]]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Path] = None,
+) -> LintResult:
+    """Lint every ``*.py`` file under ``paths`` with ``rules``.
+
+    ``rules`` defaults to the full registry.  ``baseline`` (when given)
+    absorbs grandfathered findings after pragma suppression.  ``root``
+    anchors the repo-relative paths in findings (defaults to the
+    current directory) — it must match the root the baseline was
+    recorded against, or fingerprints will not line up.
+    """
+    rule_classes = list(rules) if rules is not None else all_rules()
+    instances = [cls() for cls in rule_classes]
+
+    result = LintResult()
+    raw: List[Finding] = []
+    sources: Dict[str, List[str]] = {}
+
+    for path in collect_files(paths):
+        rel = _rel_path(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raw.append(Finding(rel, 1, 1, PARSE_ERROR, f"cannot read file: {exc}"))
+            continue
+        result.files_checked += 1
+        sources[rel] = source.splitlines()
+        try:
+            module = build_context(path, rel, source)
+        except SyntaxError as exc:
+            raw.append(
+                Finding(
+                    rel,
+                    exc.lineno or 1,
+                    (exc.offset or 0) + 1,
+                    PARSE_ERROR,
+                    f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+
+        pragmas = parse_pragmas(source)
+        for rule in instances:
+            for finding in rule.check(module):
+                if pragmas.suppresses(finding):
+                    result.pragma_suppressed += 1
+                else:
+                    raw.append(finding)
+
+    raw.sort(key=lambda f: f.sort_key)
+    if baseline is not None:
+        raw, absorbed = baseline.filter(raw, sources)
+        result.baseline_suppressed = absorbed
+    result.findings = raw
+    return result
+
+
+def collect_sources(paths: Sequence[Path], root: Optional[Path] = None) -> Dict[str, List[str]]:
+    """Source lines keyed by repo-relative path (for ``--update-baseline``)."""
+    sources: Dict[str, List[str]] = {}
+    for path in collect_files(paths):
+        rel = _rel_path(path, root)
+        try:
+            sources[rel] = path.read_text(encoding="utf-8").splitlines()
+        except (OSError, UnicodeDecodeError):
+            sources[rel] = []
+    return sources

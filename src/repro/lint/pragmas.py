@@ -1,0 +1,83 @@
+"""Inline suppression pragmas.
+
+A finding is waived at its line with::
+
+    x = time.time()  # replint: disable=R001  (report date stamp, not sim state)
+
+Multiple ids separate with commas; ``all`` waives every rule on the
+line.  A ``disable-file`` form at any line waives the whole file::
+
+    # replint: disable-file=R002  (telemetry layer itself)
+
+The parenthesised reason is required by convention (the docs say so; CI
+reviewers enforce it) but not by the parser — a pragma without a reason
+still suppresses, so a missing reason is a review problem, not a broken
+build.
+
+Comments are found with :mod:`tokenize`, not string search, so a pragma
+inside a string literal does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.lint.findings import PARSE_ERROR, Finding
+
+_PRAGMA_RE = re.compile(
+    r"#\s*replint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<ids>all|[A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)"
+)
+
+
+@dataclass
+class PragmaMap:
+    """Suppressions parsed from one file's comments."""
+
+    #: line number -> rule ids disabled on that line ("all" = every rule)
+    line_disables: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule ids disabled for the whole file
+    file_disables: Set[str] = field(default_factory=set)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True when a pragma waives this finding.
+
+        Parse errors (``E000``) are never suppressible: a file the
+        analyzer cannot read is a problem regardless of pragmas.
+        """
+        if finding.rule_id == PARSE_ERROR:
+            return False
+        if "all" in self.file_disables or finding.rule_id in self.file_disables:
+            return True
+        ids = self.line_disables.get(finding.line)
+        if ids is None:
+            return False
+        return "all" in ids or finding.rule_id in ids
+
+
+def parse_pragmas(source: str) -> PragmaMap:
+    """Extract replint pragmas from ``source``'s comments."""
+    pragmas = PragmaMap()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group("ids").split(",")}
+            if match.group("kind") == "disable-file":
+                pragmas.file_disables |= ids
+            else:
+                line = tok.start[0]
+                pragmas.line_disables.setdefault(line, set()).update(ids)
+    except tokenize.TokenError:
+        # Unterminated constructs; the AST parse will report this file
+        # as E000, so just return whatever pragmas were seen.
+        pass
+    return pragmas

@@ -1,0 +1,14 @@
+"""Shipped replint rules.
+
+Importing this package registers every rule; each module holds one rule
+and its full rationale.  Ids are stable forever — retired rules leave a
+tombstone comment here rather than freeing the number.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import determinism as _determinism  # noqa: F401
+from repro.lint.rules import telemetry as _telemetry  # noqa: F401
+from repro.lint.rules import errors as _errors  # noqa: F401
+from repro.lint.rules import pickling as _pickling  # noqa: F401
+from repro.lint.rules import units as _units  # noqa: F401

@@ -1,0 +1,79 @@
+"""R003 — error discipline: library failures are ``repro.errors`` types.
+
+Callers (the CLI, the experiment runner, tests) catch
+:class:`repro.errors.SimulationError` subclasses to distinguish "the
+simulation rejected this input" from "the code is broken".  A bare
+``raise Exception(...)`` or a validation ``assert`` destroys that
+distinction: the first is uncatchable without catching everything, and
+the second silently vanishes under ``python -O``.
+
+Flagged in ``repro.*`` library code:
+
+* ``raise Exception(...)`` / ``raise BaseException(...)`` /
+  ``raise RuntimeError(...)`` / ``raise AssertionError(...)``;
+* any ``assert`` statement — invariants worth checking in production
+  code deserve a real exception (``ConsistencyError`` for corrupted
+  state, ``ValueError``/``WorkloadError`` for bad input), and
+  debug-only asserts belong in tests.
+
+Compliant::
+
+    from repro.errors import ConsistencyError
+    if cg.free_frags != recount:
+        raise ConsistencyError(f"cg{cg.index}: free_frags {cg.free_frags} != recount {recount}")
+
+Test code is exempt (pytest's ``assert`` is the point there); so is any
+file outside a ``repro`` package.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Exception constructors too generic for library code.
+_GENERIC_EXCEPTIONS = {"Exception", "BaseException", "RuntimeError", "AssertionError"}
+
+
+@register
+class ErrorDisciplineRule(Rule):
+    __doc__ = __doc__
+
+    rule_id = "R003"
+    name = "error-discipline"
+    summary = (
+        "no bare raise Exception/RuntimeError or assert statements in "
+        "library code; raise repro.errors types"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_package("repro"):
+            return
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                yield module.finding(
+                    self,
+                    node,
+                    "assert statement in library code vanishes under "
+                    "python -O; raise a repro.errors type instead",
+                )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                # `raise Exception("...")` or re-raise-style `raise Exception`
+                name = None
+                if isinstance(exc, ast.Call):
+                    name = module.dotted(exc.func)
+                elif isinstance(exc, (ast.Name, ast.Attribute)):
+                    name = module.dotted(exc)
+                if name in _GENERIC_EXCEPTIONS:
+                    yield module.finding(
+                        self,
+                        node,
+                        f"raise of generic '{name}' in library code; "
+                        f"use a repro.errors type so callers can catch "
+                        f"simulation failures precisely",
+                    )

@@ -1,0 +1,82 @@
+"""R002 — telemetry purity: obs access only via guarded ``*_or_none()``.
+
+The telemetry-off path is guaranteed byte-identical to the seed tree:
+with no ``--metrics/--trace/--events/--profile`` flag, a run allocates
+no registries, takes no locks, and emits exactly the seed's stdout.
+That guarantee holds because library code touches :mod:`repro.obs`
+exclusively through the nullable facades::
+
+    m = obs.metrics_or_none()
+    if m is not None:
+        m.counter("ffs.alloc.calls").inc()
+
+The null-object forms — ``obs.metrics()``, ``obs.tracer()``,
+``obs.events()``, ``obs.profiler()`` — look harmless but build and
+discard throwaway objects on the disabled path (and, worse, make it
+impossible to grep for unguarded telemetry).  This rule flags any call
+to those constructors from ``repro.*`` modules outside :mod:`repro.obs`
+itself and :mod:`repro.cli` (the CLI owns session setup and legitimately
+calls ``obs.enable``/``obs.session``).
+
+``obs.enable`` / ``obs.disable`` / ``obs.session`` are not flagged:
+starting or scoping a telemetry session is explicit opt-in, which is
+the opposite of a purity leak (the parallel workers use ``obs.session``
+to re-home their metrics, by design).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Null-object facade constructors that bypass the guarded pattern.
+_BARE_FACADES = {
+    "repro.obs.metrics",
+    "repro.obs.tracer",
+    "repro.obs.events",
+    "repro.obs.profiler",
+}
+
+#: Packages/modules allowed to touch obs directly.
+_EXEMPT_PACKAGES = ("repro.obs", "repro.cli")
+
+
+@register
+class TelemetryPurityRule(Rule):
+    __doc__ = __doc__
+
+    rule_id = "R002"
+    name = "telemetry-purity"
+    summary = (
+        "library code reaches repro.obs only through *_or_none() facades, "
+        "guarded before use (protects the byte-identical-off guarantee)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_package("repro"):
+            # Only repro library code carries the purity contract;
+            # fixture snippets opt in via a fake repro path.
+            return
+        if any(module.in_package(pkg) for pkg in _EXEMPT_PACKAGES):
+            return
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.dotted(node.func)
+            if dotted is None:
+                continue
+            # Normalise both `from repro import obs; obs.metrics()` and
+            # `from repro.obs import metrics; metrics()` spellings.
+            if dotted in _BARE_FACADES or f"repro.{dotted}" in _BARE_FACADES:
+                facade = dotted.rsplit(".", 1)[-1]
+                yield module.finding(
+                    self,
+                    node,
+                    f"bare 'obs.{facade}()' in library code; use "
+                    f"'obs.{facade}_or_none()' and guard with 'is not None' "
+                    f"so the telemetry-off path stays byte-identical",
+                )

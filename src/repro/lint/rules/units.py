@@ -1,0 +1,114 @@
+"""R005 — unit hygiene: don't mix frag/block/sector/byte quantities.
+
+The simulator juggles four address spaces — bytes, 512-byte sectors,
+1 KB fragments, 8 KB blocks — and the conversion bugs between them are
+the classic FFS-reproduction failure mode: an offset in frags added to
+a length in blocks type-checks, runs, and quietly corrupts every
+downstream layout score.
+
+The repo's convention is that unit-carrying identifiers advertise their
+unit with a suffix (``start_frag``, ``len_blocks``, ``offset_bytes``)
+and conversions go through :mod:`repro.units`
+(``bytes_to_frags``, ``blocks_to_bytes``, ...).  This rule flags ``+``
+and ``-`` arithmetic (including augmented assignment) whose two
+operands are plain identifiers carrying *conflicting* unit suffixes::
+
+    pos = start_frag + len_blocks          # R005: frag + block
+
+    pos = start_frag + frags_per_block * len_blocks   # ok: converted
+
+Deliberately narrow, to stay quiet on correct code:
+
+* only ``+``/``-`` are checked — multiplication and division are how
+  conversions are *written*, so they are always allowed;
+* only plain names and attribute accesses count — subscripts like
+  ``free_in_block[b] - nfrags`` are containers indexed by one unit
+  holding another, which is fine;
+* the suffix must be a real suffix (``_frag``/``_frags``, ``_block``/
+  ``_blocks``, ``_sector``/``_sectors``, ``_byte``/``_bytes``);
+  ``nfrags`` has no underscore and does not participate.
+
+When the mix is intentional, say why at the line::
+
+    gap = next_block * frags_per_block - cursor_frag  # replint: disable=R005  (...)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: suffix -> canonical unit
+_UNIT_SUFFIXES = {
+    "frag": "frag",
+    "frags": "frag",
+    "block": "block",
+    "blocks": "block",
+    "sector": "sector",
+    "sectors": "sector",
+    "byte": "byte",
+    "bytes": "byte",
+}
+
+
+def _unit_of(node: ast.AST) -> Optional[str]:
+    """The unit a plain identifier advertises, or ``None``.
+
+    Only ``Name`` and ``Attribute`` nodes participate: a subscript or a
+    call result has no identifier-level unit claim to enforce.
+    """
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    else:
+        return None
+    if "_" not in ident:
+        return None
+    suffix = ident.rsplit("_", 1)[1].lower()
+    return _UNIT_SUFFIXES.get(suffix)
+
+
+def _conflict(left: ast.AST, right: ast.AST) -> Optional[Tuple[str, str]]:
+    lu, ru = _unit_of(left), _unit_of(right)
+    if lu is not None and ru is not None and lu != ru:
+        return (lu, ru)
+    return None
+
+
+@register
+class UnitHygieneRule(Rule):
+    __doc__ = __doc__
+
+    rule_id = "R005"
+    name = "unit-hygiene"
+    summary = (
+        "no +/- arithmetic between identifiers with conflicting "
+        "_frag/_block/_sector/_byte suffixes; convert via repro.units"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                conflict = _conflict(node.left, node.right)
+                if conflict:
+                    yield self._flag(module, node, *conflict)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                conflict = _conflict(node.target, node.value)
+                if conflict:
+                    yield self._flag(module, node, *conflict)
+
+    def _flag(
+        self, module: ModuleContext, node: ast.AST, left_unit: str, right_unit: str
+    ) -> Finding:
+        return module.finding(
+            self,
+            node,
+            f"additive arithmetic mixes {left_unit}s with {right_unit}s; "
+            f"convert explicitly via repro.units before combining",
+        )

@@ -97,3 +97,65 @@ class TestDetection:
             a.tail = (b.blocks[0], a.tail[1], a.tail[2])
             with pytest.raises(ConsistencyError):
                 check_filesystem(fs)
+
+
+class TestPerViewDetection:
+    """One corruption per redundant view the checker cross-validates.
+
+    Each test desyncs exactly one derived structure from the fragment
+    bits (which stay consistent with the inodes), so the error message
+    must name that structure — proving every view is independently
+    checked rather than shadowed by the bitmap walk.
+    """
+
+    def test_free_in_block_count(self, fs):
+        """Per-block free counter desynced from the fragment bits."""
+        cg = fs.sb.cgs[0]
+        # Block 0 is metadata: fully allocated, counter must read 0.
+        cg.bitmap._free_in_block[0] += 1
+        with pytest.raises(ConsistencyError, match="free-in-block count wrong"):
+            check_filesystem(fs)
+
+    def test_cg_free_blocks_total(self, fs):
+        """Superblock-level whole-block total desynced from the run map."""
+        cg = fs.sb.cgs[0]
+        cg.runmap.free_blocks += 1
+        with pytest.raises(ConsistencyError, match="free_blocks .* != recount"):
+            check_filesystem(fs)
+
+    def test_unmerged_adjacent_runs(self, fs):
+        """Run map intervals split without merging are caught.
+
+        Per-block `is_free` answers stay correct, so only the interval
+        invariant check can see this.
+        """
+        cg = fs.sb.cgs[0]
+        start, length = next(
+            (s, ln) for s, ln in cg.runmap.runs() if ln >= 2
+        )
+        cg.runmap._len_at[start] = 1
+        cg.runmap._len_at[start + 1] = length - 1
+        cg.runmap._starts = sorted(cg.runmap._starts + [start + 1])
+        with pytest.raises(ConsistencyError, match="overlaps or abuts"):
+            check_filesystem(fs)
+
+    def test_frag_run_index(self, fs):
+        """cg_frsum-style frag-run index missing a partial block."""
+        d = fs.directories["d"]
+        ino = fs.create_file(d, 41 * KB)  # 5 blocks + a 1-frag tail
+        inode = fs.inodes[ino]
+        assert inode.tail is not None
+        block = inode.tail[0]
+        cg = fs.sb.cg_of_block(block)
+        local = block - cg.base
+        (run_length,) = {ln for _off, ln in cg.bitmap.frag_runs(local)}
+        del cg.bitmap._runs[run_length][local]
+        with pytest.raises(ConsistencyError, match="frag-run index wrong"):
+            check_filesystem(fs)
+
+    def test_inode_table_key_mismatch(self, fs):
+        """Inode filed under the wrong table key is caught."""
+        inode = fs.files()[0]
+        fs.inodes[inode.ino + 1000] = fs.inodes.pop(inode.ino)
+        with pytest.raises(ConsistencyError, match="inode table key"):
+            check_filesystem(fs)

@@ -1,0 +1,221 @@
+"""Engine-level tests: pragmas, baseline, file collection, parse errors."""
+
+import json
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import collect_files, collect_sources, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.pragmas import parse_pragmas
+from repro.lint.registry import get_rule
+
+
+def write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/mod.py",
+            "import time\n"
+            "stamp = time.time()  # replint: disable=R001  (manifest metadata)\n",
+        )
+        result = lint_paths([path], rules=[get_rule("R001")], root=tmp_path)
+        assert result.findings == []
+        assert result.pragma_suppressed == 1
+
+    def test_pragma_on_other_line_does_not_suppress(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/mod.py",
+            "import time  # replint: disable=R001  (just the import line)\n"
+            "stamp = time.time()\n",
+        )
+        result = lint_paths([path], rules=[get_rule("R001")], root=tmp_path)
+        assert len(result.findings) == 1
+        assert result.findings[0].line == 2
+
+    def test_disable_all_on_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/mod.py",
+            "import time\n"
+            "stamp = time.time()  # replint: disable=all  (demo)\n",
+        )
+        result = lint_paths([path], root=tmp_path)
+        assert result.findings == []
+
+    def test_file_level_pragma(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/mod.py",
+            "# replint: disable-file=R001  (wall-clock by design)\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.time()\n",
+        )
+        result = lint_paths([path], rules=[get_rule("R001")], root=tmp_path)
+        assert result.findings == []
+        assert result.pragma_suppressed == 2
+
+    def test_pragma_inside_string_is_inert(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/mod.py",
+            'text = "# replint: disable=R001"\n'
+            "import time\n"
+            "stamp = time.time()\n",
+        )
+        result = lint_paths([path], rules=[get_rule("R001")], root=tmp_path)
+        assert len(result.findings) == 1
+
+    def test_multiple_ids_one_pragma(self):
+        pragmas = parse_pragmas(
+            "x = 1  # replint: disable=R001, R005  (both waived)\n"
+        )
+        finding1 = Finding("f.py", 1, 1, "R001", "m")
+        finding5 = Finding("f.py", 1, 1, "R005", "m")
+        finding2 = Finding("f.py", 1, 1, "R002", "m")
+        assert pragmas.suppresses(finding1)
+        assert pragmas.suppresses(finding5)
+        assert not pragmas.suppresses(finding2)
+
+    def test_parse_error_not_suppressible(self):
+        pragmas = parse_pragmas("# replint: disable-file=all  (nope)\n")
+        assert not pragmas.suppresses(Finding("f.py", 1, 1, "E000", "syntax"))
+
+
+class TestBaseline:
+    def test_roundtrip_and_absorb(self, tmp_path):
+        src = "import time\nstamp = time.time()\n"
+        path = write(tmp_path, "repro/mod.py", src)
+        rules = [get_rule("R001")]
+        first = lint_paths([path], rules=rules, root=tmp_path)
+        assert len(first.findings) == 1
+
+        sources = collect_sources([path], root=tmp_path)
+        baseline = Baseline.from_findings(first.findings, sources)
+        baseline_file = tmp_path / "baseline.json"
+        baseline.dump(baseline_file)
+
+        loaded = Baseline.load(baseline_file)
+        second = lint_paths([path], rules=rules, baseline=loaded, root=tmp_path)
+        assert second.findings == []
+        assert second.baseline_suppressed == 1
+
+    def test_line_drift_tolerated(self, tmp_path):
+        path = write(tmp_path, "repro/mod.py", "import time\nstamp = time.time()\n")
+        rules = [get_rule("R001")]
+        first = lint_paths([path], rules=rules, root=tmp_path)
+        baseline = Baseline.from_findings(
+            first.findings, collect_sources([path], root=tmp_path)
+        )
+        # Unrelated lines added above: the finding moves but its
+        # fingerprint (path, rule, line text) is unchanged.
+        path.write_text("import time\n\n# a comment\n\nstamp = time.time()\n")
+        result = lint_paths([path], rules=rules, baseline=baseline, root=tmp_path)
+        assert result.findings == []
+
+    def test_edited_line_resurfaces(self, tmp_path):
+        path = write(tmp_path, "repro/mod.py", "import time\nstamp = time.time()\n")
+        rules = [get_rule("R001")]
+        first = lint_paths([path], rules=rules, root=tmp_path)
+        baseline = Baseline.from_findings(
+            first.findings, collect_sources([path], root=tmp_path)
+        )
+        # The flagged line itself changed: no longer grandfathered.
+        path.write_text("import time\nother_stamp = time.time()\n")
+        result = lint_paths([path], rules=rules, baseline=baseline, root=tmp_path)
+        assert len(result.findings) == 1
+
+    def test_one_entry_absorbs_one_finding(self, tmp_path):
+        path = write(tmp_path, "repro/mod.py", "import time\nstamp = time.time()\n")
+        rules = [get_rule("R001")]
+        first = lint_paths([path], rules=rules, root=tmp_path)
+        baseline = Baseline.from_findings(
+            first.findings, collect_sources([path], root=tmp_path)
+        )
+        # A second identical line: same fingerprint, but the baseline
+        # budget for it is 1, so one finding survives.
+        path.write_text(
+            "import time\nstamp = time.time()\nstamp = time.time()\n"
+        )
+        result = lint_paths([path], rules=rules, baseline=baseline, root=tmp_path)
+        assert len(result.findings) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/v9", "findings": []}))
+        try:
+            Baseline.load(bad)
+        except ValueError as exc:
+            assert "schema" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestCollection:
+    def test_skips_pycache_and_hidden(self, tmp_path):
+        write(tmp_path, "pkg/mod.py", "x = 1\n")
+        write(tmp_path, "pkg/__pycache__/mod.cpython-312.py", "x = 1\n")
+        write(tmp_path, "pkg/.hidden/secret.py", "x = 1\n")
+        files = collect_files([tmp_path])
+        assert [f.name for f in files] == ["mod.py"]
+
+    def test_explicit_file_and_dedup(self, tmp_path):
+        path = write(tmp_path, "pkg/mod.py", "x = 1\n")
+        files = collect_files([path, tmp_path])
+        assert files.count(path) == 1
+
+    def test_missing_path_raises(self, tmp_path):
+        try:
+            collect_files([tmp_path / "missing"])
+        except FileNotFoundError:
+            pass
+        else:
+            raise AssertionError("expected FileNotFoundError")
+
+
+class TestParseErrors:
+    def test_syntax_error_is_e000(self, tmp_path):
+        path = write(tmp_path, "repro/broken.py", "def f(:\n")
+        result = lint_paths([path], root=tmp_path)
+        assert [f.rule_id for f in result.findings] == ["E000"]
+
+    def test_e000_survives_pragmas_and_baseline(self, tmp_path):
+        path = write(
+            tmp_path,
+            "repro/broken.py",
+            "# replint: disable-file=all  (nice try)\ndef f(:\n",
+        )
+        baseline = Baseline.from_findings([], {})
+        result = lint_paths([path], baseline=baseline, root=tmp_path)
+        assert [f.rule_id for f in result.findings] == ["E000"]
+
+
+class TestResultShape:
+    def test_findings_sorted_and_json(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/b.py",
+            "import time\nx = time.time()\n",
+        )
+        write(
+            tmp_path,
+            "repro/a.py",
+            "import random\nimport time\ny = time.time()\n",
+        )
+        result = lint_paths([tmp_path], root=tmp_path)
+        keys = [f.sort_key for f in result.findings]
+        assert keys == sorted(keys)
+        payload = result.to_dict()
+        assert payload["schema"] == "replint.report/v1"
+        assert payload["files_checked"] == 2
+        assert len(payload["findings"]) == len(result.findings)
