@@ -19,15 +19,18 @@ end of every simulated day, producing the curves of Figures 1 and 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro import obs
 from repro.aging.workload import APPEND, CREATE, Workload
 from repro.analysis.layout import optimal_pairs
 from repro.analysis.timeline import DailySample, Timeline
 from repro.obs import events as obs_events
-from repro.errors import OutOfSpaceError, SimulationError
+from repro.errors import FaultInjectionError, OutOfSpaceError, SimulationError
 from repro.ffs.filesystem import FileSystem
+
+if TYPE_CHECKING:  # imported lazily to keep repro.faults optional at runtime
+    from repro.faults.injector import CrashSummary, FaultInjector
 
 
 @dataclass
@@ -44,6 +47,12 @@ class ReplayResult:
     #: Map from workload file id to live simulator inode, for experiments
     #: that need to find specific files afterwards (e.g. hot files).
     live_files: Dict[int, int] = field(default_factory=dict)
+    #: True when a fault plan's crash point halted the replay early; the
+    #: timeline then stops at the crash day and ``fs`` carries whatever
+    #: damage the plan inflicted.  Never set on the no-fault path.
+    crashed: bool = False
+    #: The injector's damage summary when ``crashed`` (else ``None``).
+    crash: Optional["CrashSummary"] = None
 
 
 class AgingReplayer:
@@ -57,9 +66,19 @@ class AgingReplayer:
     against a recomputation.
     """
 
-    def __init__(self, fs: FileSystem, label: str = "aged"):
+    def __init__(
+        self,
+        fs: FileSystem,
+        label: str = "aged",
+        faults: "Optional[FaultInjector]" = None,
+    ):
         self.fs = fs
         self.label = label
+        #: Optional fault injector (:mod:`repro.faults`).  Every call
+        #: into it is guarded by an ``is not None`` check so that the
+        #: default path executes exactly the same statements as before
+        #: fault injection existed.
+        self._faults = faults
         # Event-log handle, captured once; None is the disabled path.
         self._e = obs.events_or_none()
         self._dir_for_cg: List[str] = []
@@ -115,60 +134,94 @@ class AgingReplayer:
         )
         day_start_ops = day_start_skips = 0
         current_day = 0
-        for record in workload:
-            day = int(record.time)
-            while sample_days and day > current_day:
-                self._sample(result, current_day)
-                if tr is not None:
-                    tr.end(
-                        day_span,
-                        sim=current_day + 1,
-                        ops=result.ops_applied - day_start_ops,
-                        enospc=result.skipped_no_space - day_start_skips,
-                        layout_score=round(self.current_layout_score(), 4),
-                    )
-                    day_start_ops = result.ops_applied
-                    day_start_skips = result.skipped_no_space
-                    day_span = tr.begin(
-                        "replay.day",
-                        sim=current_day + 1,
-                        label=self.label,
-                        day=current_day + 1,
-                    )
-                current_day += 1
-            if record.op == CREATE:
-                directory = self.target_directory(record.src_ino)
-                try:
-                    ino = self.fs.create_file(
-                        directory, record.size, when=record.time
-                    )
-                except OutOfSpaceError:
-                    result.skipped_no_space += 1
-                    continue
-                self._track_pairs(ino)
-                result.live_files[record.file_id] = ino
-                result.creates += 1
-                result.bytes_written += record.size
-            elif record.op == APPEND:
-                ino = result.live_files.get(record.file_id)
-                if ino is None:
-                    continue  # its create was skipped for space
-                try:
-                    self.fs.append(ino, record.size, when=record.time)
-                except OutOfSpaceError:
-                    self._track_pairs(ino)  # partial growth still counts
-                    result.skipped_no_space += 1
-                    continue
-                self._track_pairs(ino)
-                result.bytes_written += record.size
-            else:
-                ino = result.live_files.pop(record.file_id, None)
-                if ino is None:
-                    continue  # its create was skipped for space
-                self.fs.delete_file(ino, when=record.time)
-                self._untrack_pairs(ino)
-                result.deletes += 1
-            result.ops_applied += 1
+        fault_day = 0
+        try:
+            for record in workload:
+                day = int(record.time)
+                if self._faults is not None and day != fault_day:
+                    fault_day = day
+                    self._faults.begin_day(day)
+                while sample_days and day > current_day:
+                    self._sample(result, current_day)
+                    if tr is not None:
+                        tr.end(
+                            day_span,
+                            sim=current_day + 1,
+                            ops=result.ops_applied - day_start_ops,
+                            enospc=result.skipped_no_space - day_start_skips,
+                            layout_score=round(self.current_layout_score(), 4),
+                        )
+                        day_start_ops = result.ops_applied
+                        day_start_skips = result.skipped_no_space
+                        day_span = tr.begin(
+                            "replay.day",
+                            sim=current_day + 1,
+                            label=self.label,
+                            day=current_day + 1,
+                        )
+                    current_day += 1
+                if record.op == CREATE:
+                    directory = self.target_directory(record.src_ino)
+                    if self._faults is not None:
+                        self._faults.before_op(self.fs, "create", None)
+                    try:
+                        ino = self.fs.create_file(
+                            directory, record.size, when=record.time
+                        )
+                    except OutOfSpaceError:
+                        result.skipped_no_space += 1
+                        continue
+                    self._track_pairs(ino)
+                    result.live_files[record.file_id] = ino
+                    result.creates += 1
+                    result.bytes_written += record.size
+                    op_kind = "create"
+                elif record.op == APPEND:
+                    ino = result.live_files.get(record.file_id)
+                    if ino is None:
+                        continue  # its create was skipped for space
+                    if self._faults is not None:
+                        self._faults.before_op(self.fs, "append", ino)
+                    try:
+                        self.fs.append(ino, record.size, when=record.time)
+                    except OutOfSpaceError:
+                        self._track_pairs(ino)  # partial growth still counts
+                        result.skipped_no_space += 1
+                        continue
+                    self._track_pairs(ino)
+                    result.bytes_written += record.size
+                    op_kind = "append"
+                else:
+                    ino = result.live_files.pop(record.file_id, None)
+                    if ino is None:
+                        continue  # its create was skipped for space
+                    if self._faults is not None:
+                        self._faults.before_op(self.fs, "delete", ino)
+                    self.fs.delete_file(ino, when=record.time)
+                    self._untrack_pairs(ino)
+                    result.deletes += 1
+                    op_kind = "delete"
+                result.ops_applied += 1
+                if self._faults is not None:
+                    # ENOSPC-skipped ops never reach here: they are not
+                    # buffered and cannot be crash candidates.
+                    self._faults.after_op(self.fs, op_kind, ino)
+        except FaultInjectionError as exc:
+            # The plan's crash point fired: return the partial result.
+            # The timeline deliberately gets no sample for the crash day
+            # (the machine went down before the end-of-day snapshot).
+            result.crashed = True
+            result.crash = getattr(exc, "summary", None)
+            if tr is not None:
+                tr.end(
+                    day_span,
+                    sim=current_day + 1,
+                    ops=result.ops_applied - day_start_ops,
+                    enospc=result.skipped_no_space - day_start_skips,
+                    layout_score=round(self.current_layout_score(), 4),
+                    crashed=True,
+                )
+            return result
         if sample_days:
             self._sample(result, current_day)
         if tr is not None:
@@ -271,8 +324,11 @@ def age_file_system(
     params=None,
     policy: str = "ffs",
     label: Optional[str] = None,
+    faults: "Optional[FaultInjector]" = None,
 ) -> ReplayResult:
     """Convenience: build a fresh file system and age it with ``workload``."""
     fs = FileSystem(params=params, policy=policy)
-    replayer = AgingReplayer(fs, label=label if label is not None else policy)
+    replayer = AgingReplayer(
+        fs, label=label if label is not None else policy, faults=faults
+    )
     return replayer.replay(workload)

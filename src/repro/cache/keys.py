@@ -50,12 +50,19 @@ def replay_key(
     workload: str,
     policy: str,
     label: str,
+    faults: "Dict[str, object] | None" = None,
 ) -> CacheKey:
     """Key for one aged file system (a ``ReplayResult``).
 
     ``workload`` names the flavour replayed (``"reconstructed"`` or
     ``"ground-truth"``); the preset name is a filename hint only — the
     digest covers the preset's actual parameters via ``config``.
+
+    ``faults`` is the fault plan's canonical payload
+    (:meth:`repro.faults.plan.FaultPlan.to_payload`) when the replay ran
+    under injection, ``None`` for a clean replay.  It is part of the
+    digest, so a cached no-fault aging can never be served for a faulted
+    request (or vice versa).
     """
     return make_key(
         f"aged-{preset_name}-{workload}-{policy}",
@@ -65,4 +72,5 @@ def replay_key(
         workload=workload,
         policy=policy,
         label=label,
+        faults=faults,
     )

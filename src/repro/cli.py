@@ -19,6 +19,11 @@ Subcommands:
   instead and exits non-zero on a regression past ``--threshold``.
 * ``report``     — join a run's telemetry artifacts (manifest + event
   log + trace) into one self-contained offline HTML page.
+* ``fsck``       — verify a saved image's invariants, or ``--repair`` a
+  damaged one back to a verified-clean state (see :mod:`repro.fsck`).
+* ``chaos``      — crash aging replays at seeded points, repair the
+  wreckage with fsck, and report the layout/throughput cost against a
+  clean halt at the same instant (see :mod:`repro.faults`).
 
 Every subcommand takes ``--preset tiny|small|paper`` (default small)
 plus the telemetry flags ``--metrics FILE`` (write a JSON run manifest:
@@ -54,7 +59,18 @@ from repro.units import MB, fmt_size
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for the ``repro-ffs`` console script."""
+    """Entry point for the ``repro-ffs`` console script.
+
+    Every subcommand shares one failure contract: 0 success, 1
+    operational failure (a simulation error, a failed gate), 2 usage
+    error (bad arguments, missing or unreadable files).  Typed
+    simulation errors and OS errors escaping a handler are routed
+    through :func:`repro.errors.exit_code_for` and printed as one-line
+    messages — no subcommand leaks a traceback for a bad ``--image`` or
+    a missing path.
+    """
+    from repro.errors import SimulationError, exit_code_for
+
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
@@ -70,11 +86,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         or getattr(args, "events", None)
         or getattr(args, "profile", False)
     )
-    # `report` consumes telemetry files; its --events is an input path,
-    # not a capture request, so it opts out of the session entirely.
-    if getattr(args, "_no_telemetry", False) or not wants_telemetry:
-        return args.handler(args)
-    return _run_with_telemetry(args)
+    try:
+        # `report` consumes telemetry files; its --events is an input
+        # path, not a capture request, so it opts out of the session.
+        if getattr(args, "_no_telemetry", False) or not wants_telemetry:
+            return args.handler(args)
+        return _run_with_telemetry(args)
+    except (SimulationError, OSError) as exc:
+        print(f"repro-ffs {args.command}: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 def _run_with_telemetry(args: argparse.Namespace) -> int:
@@ -170,10 +190,62 @@ def _build_parser() -> argparse.ArgumentParser:
     p_age.set_defaults(handler=_cmd_age)
 
     p_fsck = sub.add_parser(
-        "fsck", help="verify the invariants of a saved file-system image"
+        "fsck", help="verify (or repair) a saved file-system image"
     )
     p_fsck.add_argument("image", help="image file from `age --save-image`")
+    p_fsck.add_argument(
+        "--repair", action="store_true",
+        help="repair the image instead of just verifying it: rebuild "
+        "every redundant structure from the inode table and fix "
+        "whatever damage the scan classifies (see repro.fsck)",
+    )
+    p_fsck.add_argument(
+        "--save", metavar="FILE", default=None,
+        help="with --repair: write the repaired image to FILE",
+    )
+    p_fsck.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="with --repair: print the repair report as JSON",
+    )
     p_fsck.set_defaults(handler=_cmd_fsck)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="crash aging replays at sampled points, fsck the wreckage, "
+        "and compare against clean halts",
+    )
+    _add_preset(p_chaos)
+    p_chaos.add_argument(
+        "--policy", choices=["ffs", "realloc", "both"], default="both",
+        help="allocation policy (default: both)",
+    )
+    p_chaos.add_argument(
+        "--crashes", type=int, default=3, metavar="N",
+        help="crash plans sampled per policy (default: 3)",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=4242,
+        help="master seed of the crash-point grid (default: 4242)",
+    )
+    p_chaos.add_argument(
+        "--max-write", type=int, default=400, metavar="N",
+        help="latest block write (since the crash day armed) a sampled "
+        "crash point may fire at (default: 400)",
+    )
+    p_chaos.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run cases across N worker processes (default: 1, serial); "
+        "output is byte-identical to serial",
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full report as JSON (repro.chaos/v1) on stdout",
+    )
+    p_chaos.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the JSON report to FILE",
+    )
+    p_chaos.set_defaults(handler=_cmd_chaos)
 
     p_wl = sub.add_parser("workload", help="generate and save the aging workload")
     _add_preset(p_wl)
@@ -352,10 +424,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_lint.set_defaults(handler=_cmd_lint, _no_telemetry=True)
 
     for sub_parser in (p_age, p_fsck, p_wl, p_exp, p_free, p_stats,
-                       p_abl, p_prof, p_cache, p_bench):
+                       p_abl, p_prof, p_cache, p_bench, p_chaos):
         _add_obs(sub_parser)
     for sub_parser in (p_age, p_wl, p_exp, p_free, p_abl, p_prof,
-                       p_cache, p_bench):
+                       p_cache, p_bench, p_chaos):
         _add_cache_flags(sub_parser)
     return parser
 
@@ -461,6 +533,8 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     from repro.errors import ConsistencyError, SimulationError
     from repro.ffs.image import load_filesystem
 
+    if getattr(args, "repair", False):
+        return _fsck_repair(args)
     try:
         with open(args.image) as fp:
             fs = load_filesystem(fp, verify=True)
@@ -474,6 +548,73 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         f"policy {fs.policy.name}"
     )
     return 0
+
+
+def _fsck_repair(args: argparse.Namespace) -> int:
+    """``fsck --repair``: skeleton-load the image, repair, re-verify.
+
+    The image format stores no allocation maps (loads rebuild them), so
+    the repair runs with ``trust_maps=False`` — map drift is not a
+    damage class an image can carry.
+    """
+    import json as json_mod
+
+    from repro.fsck import repair_filesystem, skeleton_from_document
+
+    with open(args.image) as fp:
+        document = json_mod.load(fp)
+    fs = skeleton_from_document(document)
+    report = repair_filesystem(fs, trust_maps=False)
+    if getattr(args, "as_json", False):
+        from repro.obs.export import write_json
+
+        write_json(sys.stdout, report.to_dict())
+        print()
+    else:
+        print(report.render())
+        print(
+            f"after repair: {len(fs.files())} files, "
+            f"{len(fs.directories)} directories, "
+            f"utilization {fs.utilization():.0%}, "
+            f"policy {fs.policy.name}"
+        )
+    if getattr(args, "save", None):
+        from repro.ffs.image import dump_filesystem
+
+        with open(args.save, "w") as fp:
+            dump_filesystem(fs, fp)
+        print(f"saved repaired image to {args.save}", file=sys.stderr)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import render_report, run_chaos
+
+    policies = (
+        ["ffs", "realloc"] if args.policy == "both" else [args.policy]
+    )
+    report = run_chaos(
+        args.preset,
+        policies=policies,
+        crashes=args.crashes,
+        seed=args.seed,
+        jobs=max(1, args.jobs),
+        max_write=args.max_write,
+    )
+    if getattr(args, "as_json", False):
+        from repro.obs.export import write_json
+
+        write_json(sys.stdout, report.to_dict())
+        print()
+    else:
+        print(render_report(report))
+    if getattr(args, "output", None):
+        from repro.obs.export import write_json
+
+        with open(args.output, "w") as fp:
+            write_json(fp, report.to_dict())
+        print(f"wrote chaos report to {args.output}", file=sys.stderr)
+    return 0 if report.all_repairs_clean() else 1
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:

@@ -23,7 +23,7 @@ so back-to-back sequential reads stream at media rate.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro import obs
 from repro.disk.geometry import DiskGeometry
@@ -56,6 +56,13 @@ class DiskModel:
         Platter angle at time zero, as a fraction of a rotation.  The
         benchmark runner varies this across repetitions to obtain the
         small run-to-run variation the paper reports (std dev < 1.5%).
+    read_fault_hook:
+        Optional fault-injection check called with ``(start_byte,
+        nbytes)`` before each read is serviced (see
+        :func:`repro.faults.disk.read_fault_hook`).  It raises a typed
+        error on a faulted read; the model's clock and head state are
+        untouched when it does.  ``None`` (the default) keeps the model
+        byte-identical to a build without fault injection.
     """
 
     def __init__(
@@ -64,11 +71,13 @@ class DiskModel:
         fs_offset_bytes: int = 0,
         bus_rate_bytes_per_ms: float = 10 * MB / 1000.0,
         initial_angle: float = 0.0,
+        read_fault_hook: Optional[Callable[[int, int], None]] = None,
     ) -> None:
         self.geometry = geometry if geometry is not None else DiskGeometry()
         self.fs_offset = fs_offset_bytes
         self.bus_rate = bus_rate_bytes_per_ms
         self._initial_angle = initial_angle % 1.0
+        self.read_fault_hook = read_fault_hook
         self.reset()
 
     # ------------------------------------------------------------------
@@ -116,6 +125,10 @@ class DiskModel:
                 f"request of {nbytes} bytes exceeds hardware maximum "
                 f"{self.geometry.max_transfer_bytes}"
             )
+        if kind is IOKind.READ and self.read_fault_hook is not None:
+            # Fault check runs before any clock/head mutation so a caught
+            # injected error leaves the model consistent.
+            self.read_fault_hook(start_byte, nbytes)
         start_time = self.now_ms
         # Host/controller overhead before the drive sees the command.  The
         # platter keeps spinning (and the firmware keeps prefetching)

@@ -1,14 +1,29 @@
 """Exception hierarchy for the FFS allocation-policy reproduction.
 
-Errors are split into three families:
+Errors are split into four families:
 
 * :class:`SimulationError` — anything raised by the simulator proper,
 * :class:`ConsistencyError` — an internal invariant was violated (these are
   bugs, and the fsck-lite checker raises them),
-* :class:`WorkloadError` — malformed aging-workload input.
+* :class:`WorkloadError` — malformed aging-workload input,
+* :class:`FaultInjectionError` — an *injected* failure from
+  :mod:`repro.faults` (crash points, latent sector errors); these model
+  hardware misbehaviour, not simulator bugs.
+
+The CLI maps every family onto a stable exit code via
+:func:`exit_code_for`, so scripts and CI can distinguish "the input was
+bad" from "the simulation failed" without parsing stderr.
 """
 
 from __future__ import annotations
+
+#: CLI exit codes, shared by every ``repro-ffs`` subcommand:
+#: 0 — success; 1 — the operation ran and failed (corruption found, a
+#: simulation error, a regression); 2 — the request itself was unusable
+#: (missing file, malformed input, bad flag value).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
 
 
 class SimulationError(Exception):
@@ -49,3 +64,45 @@ class ConsistencyError(SimulationError):
 
 class WorkloadError(SimulationError):
     """An aging-workload record was malformed or out of order."""
+
+
+class FaultInjectionError(SimulationError):
+    """Base class for failures *injected* by :mod:`repro.faults`.
+
+    These are deliberate, plan-driven misbehaviours of the simulated
+    hardware — not bugs in the simulator.  Code that opts into fault
+    injection catches these; code that never enables a fault plan never
+    sees one.
+    """
+
+
+class LatentSectorReadError(FaultInjectionError):
+    """A read touched a sector marked bad by the active fault plan.
+
+    Models a latent sector error: the medium degraded silently and the
+    failure only surfaces when the sector is next read.  Carries the
+    linear byte address of the failed read and the file-system block it
+    maps to (or ``None`` when the read was not block-aligned).
+    """
+
+    def __init__(
+        self, message: str, byte: int, fs_block: "int | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.byte = byte
+        self.fs_block = fs_block
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit code for an exception that escaped a subcommand.
+
+    Malformed *input* (a bad workload file, a nonsensical request, an
+    unreadable path) is a usage error (2); everything else the simulator
+    raises — including corruption found by the checker and injected
+    faults — is an operational failure (1).
+    """
+    if isinstance(exc, (WorkloadError, InvalidRequestError, OSError)):
+        return EXIT_USAGE
+    if isinstance(exc, SimulationError):
+        return EXIT_FAILURE
+    return EXIT_FAILURE

@@ -51,6 +51,38 @@ EXPERIMENTS: Dict[str, Callable[[str], object]] = {
 }
 
 
+def timed_call(
+    label: str,
+    call: Callable[[], object],
+    preset: "str | None" = None,
+) -> Tuple[object, float]:
+    """Run ``call`` under the suite's standard telemetry envelope.
+
+    One span named ``label``, one profiler phase, and a
+    ``<label>.wall_s`` gauge — or none of them when telemetry is off,
+    in which case only the (always-measured) wall clock remains.  The
+    experiment runner and the chaos harness (:mod:`repro.faults.chaos`)
+    both use this envelope, so their traces read uniformly.
+    """
+    tr = obs.tracer_or_none()
+    prof = obs.profiler_or_none()
+    start = time.perf_counter()
+    if tr is None and prof is None:
+        result = call()
+        return result, time.perf_counter() - start
+    with ExitStack() as stack:
+        if tr is not None:
+            stack.enter_context(tr.span(label, preset=preset))
+        if prof is not None:
+            stack.enter_context(prof.phase(label))
+        result = call()
+    elapsed = time.perf_counter() - start
+    m = obs.metrics_or_none()
+    if m is not None:
+        m.gauge(f"{label}.wall_s").set(elapsed)
+    return result, elapsed
+
+
 def run_one_timed(name: str, preset: str = "small") -> Tuple[object, float]:
     """Run a single experiment; returns ``(result, wall_seconds)``.
 
@@ -64,30 +96,17 @@ def run_one_timed(name: str, preset: str = "small") -> Tuple[object, float]:
         raise ValueError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    tr = obs.tracer_or_none()
     ev = obs.events_or_none()
-    prof = obs.profiler_or_none()
-    start = time.perf_counter()
-    if tr is None and ev is None and prof is None:
-        result = runner(preset)
-        return result, time.perf_counter() - start
     if ev is not None:
         ev.emit(obs_events.EXPERIMENT_START, name=name, preset=preset)
-    with ExitStack() as stack:
-        if tr is not None:
-            stack.enter_context(tr.span(f"experiment.{name}", preset=preset))
-        if prof is not None:
-            stack.enter_context(prof.phase(f"experiment.{name}"))
-        result = runner(preset)
-    elapsed = time.perf_counter() - start
+    result, elapsed = timed_call(
+        f"experiment.{name}", lambda: runner(preset), preset=preset
+    )
     if ev is not None:
         ev.emit(
             obs_events.EXPERIMENT_END, name=name, preset=preset,
             wall_s=round(elapsed, 4),
         )
-    m = obs.metrics_or_none()
-    if m is not None:
-        m.gauge(f"experiment.{name}.wall_s").set(elapsed)
     return result, elapsed
 
 

@@ -42,7 +42,7 @@ def filesystem_to_document(fs: FileSystem) -> Dict[str, Any]:
         "policy": fs.policy.name,
         "params": dataclasses.asdict(fs.params),
         "rotors": [cg.rotor for cg in fs.sb.cgs],
-        "inodes": [_inode_to_json(inode) for inode in fs.inodes.values()],
+        "inodes": [inode_to_json(inode) for inode in fs.inodes.values()],
         "directories": [
             {
                 "name": d.name,
@@ -88,7 +88,7 @@ def filesystem_from_document(
 
     # Recreate inodes and re-mark their space as allocated.
     for blob in document["inodes"]:
-        inode = _inode_from_json(blob)
+        inode = inode_from_json(blob)
         fs.inodes[inode.ino] = inode
         cg = fs.sb.cgs[params.cg_of_inode(inode.ino)]
         cg.alloc_inode_at(inode.ino, is_dir=inode.is_dir)
@@ -122,7 +122,7 @@ def filesystem_from_document(
     return fs
 
 
-def _inode_to_json(inode: Inode) -> Dict[str, Any]:
+def inode_to_json(inode: Inode) -> Dict[str, Any]:
     return {
         "ino": inode.ino,
         "is_dir": inode.is_dir,
@@ -137,7 +137,7 @@ def _inode_to_json(inode: Inode) -> Dict[str, Any]:
     }
 
 
-def _inode_from_json(blob: Dict[str, Any]) -> Inode:
+def inode_from_json(blob: Dict[str, Any]) -> Inode:
     return Inode(
         ino=blob["ino"],
         is_dir=blob["is_dir"],

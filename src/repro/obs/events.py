@@ -42,6 +42,9 @@ EXPERIMENT_START = "experiment_start"
 EXPERIMENT_END = "experiment_end"
 #: A parallel worker's event batch was grafted into this log.
 WORKER_MERGE = "worker_merge"
+#: :mod:`repro.faults` injected one fault (``kind`` distinguishes a
+#: ``crash``, ``dropped_write``, ``torn_write``, or ``latent_read_error``).
+FAULT_INJECTED = "fault_injected"
 
 EVENT_TYPES = frozenset({
     DAY_SAMPLE,
@@ -52,6 +55,7 @@ EVENT_TYPES = frozenset({
     EXPERIMENT_START,
     EXPERIMENT_END,
     WORKER_MERGE,
+    FAULT_INJECTED,
 })
 
 __all__ = [
@@ -67,6 +71,7 @@ __all__ = [
     "EXPERIMENT_START",
     "EXPERIMENT_END",
     "WORKER_MERGE",
+    "FAULT_INJECTED",
 ]
 
 

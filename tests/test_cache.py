@@ -94,6 +94,26 @@ class TestKeying:
         key = cache.replay_key("tiny", config, "reconstructed", "ffs", "FFS")
         assert key.payload["cache_format"] == cache.FORMAT_VERSION
 
+    def test_fault_plan_participates_in_key(self):
+        """A faulted replay can never be served a clean cached aging."""
+        from repro.faults.plan import CrashSpec, FaultPlan
+
+        config = aging_config("tiny")
+        clean = cache.replay_key("tiny", config, "reconstructed", "ffs", "FFS")
+        plan = FaultPlan(
+            seed=3, crash=CrashSpec(day=2, after_block_writes=9)
+        ).to_payload()
+        faulted = cache.replay_key(
+            "tiny", config, "reconstructed", "ffs", "FFS", faults=plan
+        )
+        assert faulted.digest != clean.digest
+        assert faulted.payload["faults"] == plan
+        # Explicit None is the clean key: no-fault callers stay compatible.
+        explicit = cache.replay_key(
+            "tiny", config, "reconstructed", "ffs", "FFS", faults=None
+        )
+        assert explicit.digest == clean.digest
+
 
 class TestCorruption:
     def test_unreadable_json_is_a_miss(self, store, key, aged_ffs):

@@ -110,3 +110,92 @@ class TestLfsCommand:
         assert main(["experiment", "lfs", "--preset", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "LFS" in out and "write amplification" in out
+
+
+class TestErrorRouting:
+    """Failures route through repro.errors exit codes: no tracebacks,
+    one-line messages on stderr, usage errors exit 2."""
+
+    def test_fsck_missing_image_exits_2(self, capsys):
+        assert main(["fsck", "/nonexistent/image.json"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-ffs fsck:" in err
+        assert "Traceback" not in err
+
+    def test_stats_missing_manifest_exits_2(self, capsys):
+        assert main(["stats", "/nonexistent/manifest.json"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-ffs stats:" in err
+        assert "Traceback" not in err
+
+    def test_age_missing_workload_exits_2(self, capsys):
+        assert main(["age", "--preset", "tiny", "--policy", "ffs",
+                     "--workload", "/nonexistent/w.txt"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-ffs age:" in err
+        assert "Traceback" not in err
+
+    def test_fsck_repair_missing_image_exits_2(self, capsys):
+        assert main(["fsck", "/nonexistent/image.json", "--repair"]) == 2
+        assert "repro-ffs fsck:" in capsys.readouterr().err
+
+
+class TestFsckCommand:
+    @pytest.fixture
+    def corrupt_image(self, tmp_path, tiny_params):
+        from repro.ffs.filesystem import FileSystem
+        from repro.ffs.image import dump_filesystem
+        from repro.units import KB
+
+        fs = FileSystem(tiny_params, policy="ffs")
+        d = fs.make_directory("d")
+        ino = fs.create_file(d, 40 * KB)
+        fs.inodes[ino].size += tiny_params.block_size * 4  # oversized
+        path = tmp_path / "corrupt.json"
+        with open(path, "w") as fp:
+            dump_filesystem(fs, fp)
+        return path
+
+    def test_fsck_flags_corruption(self, corrupt_image, capsys):
+        assert main(["fsck", str(corrupt_image)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_repair_then_clean(self, corrupt_image, tmp_path, capsys):
+        fixed = tmp_path / "fixed.json"
+        assert main(["fsck", str(corrupt_image), "--repair",
+                     "--save", str(fixed)]) == 0
+        out = capsys.readouterr().out
+        assert "fsck: repaired" in out
+        assert "clamped" in out
+        assert main(["fsck", str(fixed)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_repair_json_report(self, corrupt_image, capsys):
+        import json
+
+        assert main(["fsck", str(corrupt_image), "--repair", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["truncated_files"] == 1
+
+
+class TestChaosCommand:
+    ARGS = ["chaos", "--preset", "tiny", "--crashes", "1", "--seed", "11"]
+
+    def test_serial_and_parallel_stdout_identical(self, capsys):
+        assert main(self.ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGS + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert "all fired crashes repaired to fsck-clean: yes" in serial
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "chaos.json"
+        assert main(self.ARGS + ["--json", "--output", str(out_file)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.chaos/v1"
+        assert report["all_repairs_clean"] is True
+        assert report["cases"]
+        assert json.loads(out_file.read_text()) == report

@@ -73,6 +73,21 @@ class TestR001Determinism:
         src = "import time\nstamp = time.time()\n"
         assert run_rule(tmp_path, "R001", src, rel="repro/obs/metrics.py") == []
 
+    def test_fires_inside_repro_faults(self, tmp_path):
+        # Fault injection is NOT exempt: crash points and fate draws are
+        # cached and replayed, so they must come from repro.rng like any
+        # other sampled quantity.
+        src = "import random\nfate = random.random()\n"
+        findings = run_rule(tmp_path, "R001", src, rel="repro/faults/plan.py")
+        assert [f.rule_id for f in findings] == ["R001"]
+
+    def test_silent_on_faults_substream_idiom(self, tmp_path):
+        src = (
+            "from repro import rng\n"
+            "fates = rng.substream(seed, 'faults.fates')\n"
+        )
+        assert run_rule(tmp_path, "R001", src, rel="repro/faults/plan.py") == []
+
 
 class TestR002TelemetryPurity:
     def test_fires_on_bare_metrics(self, tmp_path):
