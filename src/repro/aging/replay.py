@@ -280,19 +280,35 @@ class AgingReplayer:
 
         stats = free_space_stats(self.fs)
         frags_per_cg = self.fs.params.blocks_per_cg * self.fs.params.frags_per_block
-        occupancy = sorted(
-            1.0 - cg.free_frags / frags_per_cg for cg in self.fs.sb.cgs
-        )
+        per_cg = [
+            round(1.0 - cg.free_frags / frags_per_cg, 4)
+            for cg in self.fs.sb.cgs
+        ]
+        occupancy = sorted(per_cg)
         n = len(occupancy)
         deciles = [
             round(occupancy[min(n - 1, round(i * (n - 1) / 10))], 4)
             for i in range(11)
         ]
+        # Per-CG free-space fragmentation: how little of a group's free
+        # space its largest run covers (0 = one contiguous run, →1 =
+        # shattered).  A fully occupied group has nothing to fragment.
+        frag = []
+        for cg in self.fs.sb.cgs:
+            free = cg.free_blocks
+            if free == 0:
+                frag.append(0.0)
+                continue
+            frag.append(round(1.0 - cg.max_free_run() / free, 4))
         return {
             "free_runs": stats.n_runs,
             "largest_free_run": stats.largest_run,
             "clusterable_fraction": round(stats.clusterable_fraction, 4),
             "cg_occupancy_deciles": deciles,
+            # Unsorted per-group vectors, in CG order: the columns of
+            # the report's occupancy/fragmentation heatmaps.
+            "cg_occupancy": per_cg,
+            "cg_frag": frag,
         }
 
     # ------------------------------------------------------------------

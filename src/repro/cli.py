@@ -84,6 +84,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         getattr(args, "metrics", None)
         or getattr(args, "trace", None)
         or getattr(args, "events", None)
+        or getattr(args, "disk_trace", None)
+        or getattr(args, "record", False)
         or getattr(args, "profile", False)
     )
     try:
@@ -108,7 +110,12 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
     """
     events_log = obs.EventLog() if getattr(args, "events", None) else None
     profiler = obs.PhaseProfiler() if getattr(args, "profile", False) else None
-    with obs.session(events=events_log, profiler=profiler) as (registry, tracer):
+    disk_trace = (
+        obs.DiskTrace() if getattr(args, "disk_trace", None) else None
+    )
+    with obs.session(
+        events=events_log, profiler=profiler, disktrace=disk_trace
+    ) as (registry, tracer):
         manifest = obs.RunManifest(
             command=args.command, config=_manifest_config(args)
         )
@@ -146,6 +153,26 @@ def _run_with_telemetry(args: argparse.Namespace) -> int:
                 f"[obs] wrote {count} events to {args.events}{dropped}",
                 file=sys.stderr,
             )
+        if disk_trace is not None:
+            with open(args.disk_trace, "w") as fp:
+                count = disk_trace.write_jsonl(fp)
+            dropped = (
+                f" ({disk_trace.dropped} dropped)" if disk_trace.dropped else ""
+            )
+            print(
+                f"[obs] wrote {count} disk requests to "
+                f"{args.disk_trace}{dropped}",
+                file=sys.stderr,
+            )
+        if getattr(args, "record", False):
+            from repro.obs.store import RunStore
+
+            store = RunStore(getattr(args, "runs_dir", None))
+            run_id = store.record(manifest)
+            print(
+                f"[obs] recorded run {run_id} in {store.root}",
+                file=sys.stderr,
+            )
     return code
 
 
@@ -155,7 +182,7 @@ def _manifest_config(args: argparse.Namespace) -> dict:
         key: value
         for key, value in sorted(vars(args).items())
         if key not in ("handler", "command", "metrics", "trace", "events",
-                       "profile")
+                       "profile", "disk_trace", "record", "runs_dir")
         and not key.startswith("_")
         and not callable(value)
     }
@@ -375,14 +402,67 @@ def _build_parser() -> argparse.ArgumentParser:
         help="event log of the --compare run",
     )
     p_report.add_argument(
+        "--disk-trace", metavar="FILE", default=None,
+        help="per-request disk I/O trace (JSONL) from the same run's "
+        "--disk-trace",
+    )
+    p_report.add_argument(
         "--bench-dir", metavar="DIR", default=None,
         help="directory of BENCH_*.json reports for the history strip",
+    )
+    p_report.add_argument(
+        "--runs-dir", metavar="DIR", default=None,
+        help="run registry (from --record) for the trend-line panel",
     )
     p_report.add_argument(
         "--output", metavar="FILE", default="run-report.html",
         help="HTML output path (default: run-report.html)",
     )
     p_report.set_defaults(handler=_cmd_report, _no_telemetry=True)
+
+    p_insp = sub.add_parser(
+        "inspect",
+        help="block-placement maps and fragmentation profile of a saved "
+        "image or a freshly aged file system",
+    )
+    _add_preset(p_insp)
+    p_insp.add_argument(
+        "images", nargs="*", metavar="IMAGE",
+        help="saved image(s) from `age --save-image` (none: age the "
+        "preset in place; two: compare them)",
+    )
+    p_insp.add_argument(
+        "--policy", choices=["ffs", "realloc", "both"], default="ffs",
+        help="policy to age under when no image is given "
+        "(both: compare the two policies)",
+    )
+    p_insp.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="largest files to list (default: 15)",
+    )
+    p_insp.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the placement document(s) as JSON (repro.inspect/v1)",
+    )
+    p_insp.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="also render the inspection as a self-contained HTML page",
+    )
+    p_insp.set_defaults(handler=_cmd_inspect)
+
+    p_hist = sub.add_parser(
+        "history",
+        help="list the run registry recorded by --record",
+    )
+    p_hist.add_argument(
+        "--runs-dir", metavar="DIR", default=None,
+        help="run registry location (default: .repro/runs/)",
+    )
+    p_hist.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the run documents as a JSON array instead of a table",
+    )
+    p_hist.set_defaults(handler=_cmd_history, _no_telemetry=True)
 
     p_lint = sub.add_parser(
         "lint",
@@ -424,10 +504,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_lint.set_defaults(handler=_cmd_lint, _no_telemetry=True)
 
     for sub_parser in (p_age, p_fsck, p_wl, p_exp, p_free, p_stats,
-                       p_abl, p_prof, p_cache, p_bench, p_chaos):
+                       p_abl, p_prof, p_cache, p_bench, p_chaos, p_insp):
         _add_obs(sub_parser)
     for sub_parser in (p_age, p_wl, p_exp, p_free, p_abl, p_prof,
-                       p_cache, p_bench, p_chaos):
+                       p_cache, p_bench, p_chaos, p_insp):
         _add_cache_flags(sub_parser)
     return parser
 
@@ -455,9 +535,24 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
         "(render it with `repro-ffs report`)",
     )
     parser.add_argument(
+        "--disk-trace", metavar="FILE", default=None,
+        help="capture telemetry and write the per-request disk I/O "
+        "trace as JSONL (render it with `repro-ffs report`)",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="profile each phase with cProfile; fold the top offenders "
         "into the --metrics manifest and print them to stderr",
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="capture telemetry and archive this run's manifest and "
+        "summary metrics in the run registry "
+        "(list it with `repro-ffs history`)",
+    )
+    parser.add_argument(
+        "--runs-dir", metavar="DIR", default=None,
+        help="run registry location for --record (default: .repro/runs/)",
     )
 
 
@@ -880,6 +975,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
             compare_manifest_path=args.compare,
             compare_events_path=args.compare_events,
             bench_dir=args.bench_dir,
+            disk_trace_path=args.disk_trace,
+            runs_dir=args.runs_dir,
         )
     except (OSError, ValueError) as exc:
         print(f"report: {exc}", file=sys.stderr)
@@ -887,6 +984,83 @@ def _cmd_report(args: argparse.Namespace) -> int:
     with open(args.output, "w") as fp:
         fp.write(html_text)
     print(f"wrote report to {args.output}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.placement import (
+        SCHEMA as INSPECT_SCHEMA,
+        inspect_filesystem,
+        render_comparison,
+        render_inspection,
+    )
+
+    if len(args.images) > 2:
+        print(
+            "inspect: at most two images can be compared", file=sys.stderr
+        )
+        return 2
+    documents = []
+    if args.images:
+        from repro.ffs.image import load_filesystem
+
+        for path in args.images:
+            with open(path) as fp:
+                fs = load_filesystem(fp, verify=True)
+            documents.append(
+                inspect_filesystem(
+                    fs, label=Path(path).name, top_files=args.top
+                )
+            )
+    else:
+        policies = (
+            ["ffs", "realloc"] if args.policy == "both" else [args.policy]
+        )
+        for policy in policies:
+            documents.append(
+                inspect_filesystem(
+                    aged(args.preset, policy).fs,
+                    label=policy,
+                    top_files=args.top,
+                )
+            )
+    if getattr(args, "as_json", False):
+        from repro.obs.export import write_json
+
+        write_json(
+            sys.stdout,
+            documents[0]
+            if len(documents) == 1
+            else {"schema": INSPECT_SCHEMA, "documents": documents},
+        )
+    else:
+        for document in documents:
+            print(render_inspection(document))
+            print()
+        if len(documents) == 2:
+            print(render_comparison(documents[0], documents[1]))
+    if getattr(args, "html", None):
+        from repro.obs.report_html import build_inspect_report
+
+        with open(args.html, "w") as fp:
+            fp.write(build_inspect_report(documents))
+        print(f"wrote inspection to {args.html}", file=sys.stderr)
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs.store import RunStore, render_history
+
+    store = RunStore(getattr(args, "runs_dir", None))
+    runs = store.runs()
+    if getattr(args, "as_json", False):
+        from repro.obs.export import write_json
+
+        write_json(sys.stdout, runs)
+        return 0
+    print(render_history(runs))
     return 0
 
 

@@ -78,6 +78,7 @@ class DiskModel:
         self.bus_rate = bus_rate_bytes_per_ms
         self._initial_angle = initial_angle % 1.0
         self.read_fault_hook = read_fault_hook
+        self._trace = obs.disktrace_or_none()
         self.reset()
 
     # ------------------------------------------------------------------
@@ -130,6 +131,14 @@ class DiskModel:
             # injected error leaves the model consistent.
             self.read_fault_hook(start_byte, nbytes)
         start_time = self.now_ms
+        if self._trace is not None:
+            # Snapshot the counters the service path will bump so the
+            # per-request deltas can be reconstructed afterwards.
+            pre_cyl = self.current_cylinder
+            pre_seek_ms = self.stats.seek_ms
+            pre_rot_ms = self.stats.rotation_ms
+            pre_lost = self.stats.lost_rotations
+            pre_hits = self.stats.buffer_hits
         # Host/controller overhead before the drive sees the command.  The
         # platter keeps spinning (and the firmware keeps prefetching)
         # during this window — this is what makes sequential writes miss
@@ -144,6 +153,24 @@ class DiskModel:
 
         elapsed = self.now_ms - start_time
         self.stats.record(kind, nbytes, elapsed)
+        if self._trace is not None:
+            geo = self.geometry
+            target_cyl = geo.cylinder_of_sector(geo.sector_of_byte(start_byte))
+            seek_ms = self.stats.seek_ms - pre_seek_ms
+            rot_ms = self.stats.rotation_ms - pre_rot_ms
+            self._trace.record(
+                kind=kind.value,
+                byte=start_byte,
+                nbytes=nbytes,
+                cyl=target_cyl,
+                seek_cyls=abs(target_cyl - pre_cyl),
+                seek_ms=seek_ms,
+                rot_ms=rot_ms,
+                transfer_ms=elapsed - seek_ms - rot_ms,
+                service_ms=elapsed,
+                lost_rot=self.stats.lost_rotations > pre_lost,
+                buf_hit=self.stats.buffer_hits > pre_hits,
+            )
         return elapsed
 
     def _service_read(self, start_byte: int, nbytes: int) -> None:
@@ -186,7 +213,9 @@ class DiskModel:
         seek = geo.seek_time_ms(self.current_cylinder, target_cyl)
         self.now_ms += seek
         if seek:
-            self.stats.note_seek(seek)
+            self.stats.note_seek(
+                seek, distance=abs(target_cyl - self.current_cylinder)
+            )
         self.current_cylinder = target_cyl
         target_angle = geo.rotational_position(sector)
         here = self.angle_at(self.now_ms)
@@ -278,6 +307,7 @@ class DiskStats:
                 name: g.counter(f"disk.{name}") for name in self.FIELDS
             }
             self._g_seek_hist = g.histogram("disk.seek_time_ms")
+            self._g_seek_dist_hist = g.histogram("disk.seek_distance_cyl")
             self._g_rot_hist = g.histogram("disk.rot_wait_ms")
             self._g_service_hist = g.histogram("disk.service_time_ms")
 
@@ -315,14 +345,17 @@ class DiskStats:
             gc["busy_ms"].inc(elapsed_ms)
             self._g_service_hist.observe(elapsed_ms)
 
-    def note_seek(self, seek_ms: float) -> None:
-        """Account one non-zero seek of ``seek_ms`` milliseconds."""
+    def note_seek(self, seek_ms: float, distance: int = 0) -> None:
+        """Account one non-zero seek of ``seek_ms`` milliseconds over
+        ``distance`` cylinders (0 when the caller did not measure it)."""
         self._counters["seeks"].inc()
         self._counters["seek_ms"].inc(seek_ms)
         if self._g is not None:
             self._g_counters["seeks"].inc()
             self._g_counters["seek_ms"].inc(seek_ms)
             self._g_seek_hist.observe(seek_ms)
+            if distance:
+                self._g_seek_dist_hist.observe(distance)
 
     def note_rotation(self, wait_ms: float, lost: bool) -> None:
         """Account one rotational wait (``lost`` = nearly a full turn)."""

@@ -45,6 +45,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Optional, Tuple
 
+from repro.obs.disktrace import DiskTrace
 from repro.obs.events import EventLog
 from repro.obs.manifest import RunManifest, environment_info
 from repro.obs.metrics import (
@@ -70,6 +71,7 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "EventLog",
+    "DiskTrace",
     "PhaseProfiler",
     "RunManifest",
     "environment_info",
@@ -82,12 +84,14 @@ __all__ = [
     "metrics_or_none",
     "tracer_or_none",
     "events_or_none",
+    "disktrace_or_none",
     "profiler_or_none",
 ]
 
 _registry: Optional[MetricsRegistry] = None
 _tracer: Optional[Tracer] = None
 _events: Optional[EventLog] = None
+_disktrace: Optional[DiskTrace] = None
 _profiler: Optional[PhaseProfiler] = None
 
 
@@ -101,31 +105,34 @@ def enable(
     tracer: Optional[Tracer] = None,
     events: Optional[EventLog] = None,
     profiler: Optional[PhaseProfiler] = None,
+    disktrace: Optional[DiskTrace] = None,
 ) -> Tuple[MetricsRegistry, Tracer]:
     """Activate telemetry; returns the active (registry, tracer) pair.
 
     Objects constructed *after* this call pick up the active registry;
     objects constructed before keep their no-op handles.  Passing
     explicit instances injects them (tests do this); otherwise fresh
-    ones are created.  The event log and profiler are **opt-in**: they
-    stay off unless an instance is passed (the CLI builds one for
-    ``--events`` / ``--profile``), so a plain metrics/trace session
-    pays nothing for them.
+    ones are created.  The event log, profiler, and disk trace are
+    **opt-in**: they stay off unless an instance is passed (the CLI
+    builds one for ``--events`` / ``--profile`` / ``--disk-trace``), so
+    a plain metrics/trace session pays nothing for them.
     """
-    global _registry, _tracer, _events, _profiler
+    global _registry, _tracer, _events, _disktrace, _profiler
     _registry = registry if registry is not None else MetricsRegistry()
     _tracer = tracer if tracer is not None else Tracer()
     _events = events
+    _disktrace = disktrace
     _profiler = profiler
     return _registry, _tracer
 
 
 def disable() -> None:
     """Deactivate telemetry; instrumented code reverts to the no-op path."""
-    global _registry, _tracer, _events, _profiler
+    global _registry, _tracer, _events, _disktrace, _profiler
     _registry = None
     _tracer = None
     _events = None
+    _disktrace = None
     _profiler = None
 
 
@@ -135,10 +142,11 @@ def session(
     tracer: Optional[Tracer] = None,
     events: Optional[EventLog] = None,
     profiler: Optional[PhaseProfiler] = None,
+    disktrace: Optional[DiskTrace] = None,
 ):
     """Enable telemetry for a ``with`` block, restoring the prior state."""
-    prior = (_registry, _tracer, _events, _profiler)
-    pair = enable(registry, tracer, events, profiler)
+    prior = (_registry, _tracer, _events, _disktrace, _profiler)
+    pair = enable(registry, tracer, events, profiler, disktrace)
     try:
         yield pair
     finally:
@@ -148,11 +156,11 @@ def session(
 def _restore(
     prior: Tuple[
         Optional[MetricsRegistry], Optional[Tracer],
-        Optional[EventLog], Optional[PhaseProfiler],
+        Optional[EventLog], Optional[DiskTrace], Optional[PhaseProfiler],
     ],
 ) -> None:
-    global _registry, _tracer, _events, _profiler
-    _registry, _tracer, _events, _profiler = prior
+    global _registry, _tracer, _events, _disktrace, _profiler
+    _registry, _tracer, _events, _disktrace, _profiler = prior
 
 
 def metrics() -> "MetricsRegistry | NullRegistry":
@@ -182,6 +190,15 @@ def events_or_none() -> Optional[EventLog]:
     without an event log (metrics/trace only).
     """
     return _events
+
+
+def disktrace_or_none() -> Optional[DiskTrace]:
+    """The active disk trace, or None — the hot-path guard form.
+
+    None both when telemetry is fully off and when a session is active
+    without a disk trace (tracing is opt-in via ``--disk-trace``).
+    """
+    return _disktrace
 
 
 def profiler_or_none() -> Optional[PhaseProfiler]:

@@ -1,0 +1,208 @@
+"""Per-request disk I/O tracing: the anatomy of every simulated access.
+
+Metrics summarise the disk model's behaviour (total seeks, total
+rotational wait); the **disk trace** keeps the per-request evidence the
+paper's argument actually rests on: where each request landed on the
+platter, how far the head travelled to serve it, and how its service
+time splits into seek, rotation, and transfer.  That is exactly the
+input a disk-scheduler study (SSTF/SCAN vs. FCFS) or a defragmentation
+trigger needs — seek-distance distributions and inter-request locality
+— and none of it is recoverable from aggregate counters.
+
+One :class:`DiskTrace` collects typed rows for one telemetry session
+(schema ``repro.obs.disktrace/v1``); ``repro-ffs ... --disk-trace FILE``
+writes them as JSONL and ``repro-ffs report --disk-trace FILE`` renders
+seek-distance and inter-request-distance histograms from them.  Like
+the event log, the trace is **bounded**: past
+:attr:`DiskTrace.max_requests` rows, new requests are counted in
+:attr:`DiskTrace.dropped` instead of stored, and the JSONL export ends
+with a truncation marker so a reader knows rows went missing.
+
+Row fields (one JSON object per request, in service order):
+
+``seq``
+    Monotonically increasing request number (order survives
+    serialisation and cross-process adoption).
+``kind``
+    ``"read"`` or ``"write"``.
+``byte`` / ``nbytes``
+    Linear disk byte address and length of the request.
+``cyl``
+    Cylinder of the request's first sector.
+``seek_cyls``
+    Cylinder distance from the head's position before the request.
+``seek_ms`` / ``rot_ms`` / ``transfer_ms``
+    The mechanical split of the service time: seek, rotational wait,
+    and everything else (host overhead + media/bus transfer).
+``service_ms``
+    Total elapsed service time (the sum of the split).
+``lost_rot``
+    True when the request waited out nearly a full rotation — the
+    Section 5.1 "lost rotation" signature.
+``buf_hit``
+    True when the track buffer served (part of) a read.
+
+The trace is wired into :class:`repro.disk.model.DiskModel` through the
+same construction-time ``*_or_none`` façade discipline as every other
+telemetry hook (replint R002), so the disabled path executes exactly
+the statements it executed before tracing existed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, TextIO
+
+SCHEMA = "repro.obs.disktrace/v1"
+
+#: ``kind`` value of the synthetic final row the JSONL export appends
+#: when requests were dropped at the bound.
+TRUNCATED = "truncated"
+
+__all__ = ["DiskTrace", "read_jsonl_trace", "SCHEMA", "TRUNCATED"]
+
+
+class DiskTrace:
+    """A bounded, append-only log of per-request disk access rows."""
+
+    def __init__(self, max_requests: int = 500_000) -> None:
+        if max_requests < 1:
+            raise ValueError("max_requests must be positive")
+        self.max_requests = max_requests
+        self._rows: List[Dict[str, object]] = []
+        self._seq = 0
+        #: Requests discarded because the trace was full.
+        self.dropped = 0
+
+    def record(
+        self,
+        kind: str,
+        byte: int,
+        nbytes: int,
+        cyl: int,
+        seek_cyls: int,
+        seek_ms: float,
+        rot_ms: float,
+        transfer_ms: float,
+        service_ms: float,
+        lost_rot: bool,
+        buf_hit: bool,
+    ) -> Optional[Dict[str, object]]:
+        """Append one request row; returns it (or None when dropped).
+
+        Millisecond fields are rounded to 4 decimals: enough for any
+        timing analysis, and it keeps the serialised trace compact and
+        bit-stable across platforms.
+        """
+        self._seq += 1
+        if len(self._rows) >= self.max_requests:
+            self.dropped += 1
+            return None
+        row: Dict[str, object] = {
+            "seq": self._seq,
+            "kind": kind,
+            "byte": byte,
+            "nbytes": nbytes,
+            "cyl": cyl,
+            "seek_cyls": seek_cyls,
+            "seek_ms": round(seek_ms, 4),
+            "rot_ms": round(rot_ms, 4),
+            "transfer_ms": round(transfer_ms, 4),
+            "service_ms": round(service_ms, 4),
+            "lost_rot": lost_rot,
+            "buf_hit": buf_hit,
+        }
+        self._rows.append(row)
+        return row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All stored rows, in service order (a shallow copy)."""
+        return list(self._rows)
+
+    # ------------------------------------------------------------------
+    # Cross-process adoption
+    # ------------------------------------------------------------------
+
+    def adopt_rows(self, rows: Iterable[Dict[str, object]]) -> int:
+        """Graft a worker's :meth:`rows` into this trace, in order.
+
+        Sequence numbers are renumbered into this trace's sequence and
+        nothing else is touched: unlike event-log adoption there is no
+        origin stamp and no merge marker, because the parallel
+        experiment runner adopts worker rows in paper order and the
+        merged trace must stay **byte-identical** to a serial run's.
+        Rows past the bound count as dropped, like local recordings.
+        Returns the number of rows actually stored.
+        """
+        adopted = 0
+        for row in rows:
+            self._seq += 1
+            if len(self._rows) >= self.max_requests:
+                self.dropped += 1
+                continue
+            merged = dict(row)
+            merged["seq"] = self._seq
+            self._rows.append(merged)
+            adopted += 1
+        return adopted
+
+    def adopt_dropped(self, dropped: int) -> None:
+        """Fold a worker's drop count into this trace's total."""
+        if dropped < 0:
+            raise ValueError("dropped count cannot be negative")
+        self.dropped += dropped
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate view of the stored rows, for renderers and tests."""
+        reads = sum(1 for r in self._rows if r.get("kind") == "read")
+        return {
+            "requests": len(self._rows),
+            "reads": reads,
+            "writes": len(self._rows) - reads,
+            "lost_rotations": sum(
+                1 for r in self._rows if r.get("lost_rot")
+            ),
+            "buffer_hits": sum(1 for r in self._rows if r.get("buf_hit")),
+            "dropped": self.dropped,
+        }
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def write_jsonl(self, fp: TextIO) -> int:
+        """Write one compact JSON object per request; returns the count.
+
+        When requests were dropped at the bound, a final synthetic row
+        ``{"kind": "truncated", "dropped": N, "seq": <last seq>}`` is
+        appended so a reader of the file alone can tell the trace is
+        incomplete.  The marker is not counted in the return value.
+        """
+        from repro.obs.export import write_jsonl
+
+        count = write_jsonl(fp, self._rows)
+        if self.dropped:
+            write_jsonl(
+                fp,
+                [{"seq": self._seq, "kind": TRUNCATED,
+                  "dropped": self.dropped}],
+            )
+        return count
+
+
+def read_jsonl_trace(fp: TextIO) -> List[Dict[str, object]]:
+    """Parse a ``--disk-trace`` JSONL file back into rows (blank lines
+    skipped), truncation marker included, for renderers and tests."""
+    rows: List[Dict[str, object]] = []
+    for line in fp:
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows

@@ -45,6 +45,10 @@ WORKER_MERGE = "worker_merge"
 #: :mod:`repro.faults` injected one fault (``kind`` distinguishes a
 #: ``crash``, ``dropped_write``, ``torn_write``, or ``latent_read_error``).
 FAULT_INJECTED = "fault_injected"
+#: Synthetic final row the JSONL export appends when the bound dropped
+#: events (``dropped`` carries the count), so a reader of the file alone
+#: can tell the log is incomplete.
+LOG_TRUNCATED = "log_truncated"
 
 EVENT_TYPES = frozenset({
     DAY_SAMPLE,
@@ -56,6 +60,7 @@ EVENT_TYPES = frozenset({
     EXPERIMENT_END,
     WORKER_MERGE,
     FAULT_INJECTED,
+    LOG_TRUNCATED,
 })
 
 __all__ = [
@@ -72,6 +77,7 @@ __all__ = [
     "EXPERIMENT_END",
     "WORKER_MERGE",
     "FAULT_INJECTED",
+    "LOG_TRUNCATED",
 ]
 
 
@@ -152,10 +158,24 @@ class EventLog:
     # ------------------------------------------------------------------
 
     def write_jsonl(self, fp: TextIO) -> int:
-        """Write one compact JSON object per event; returns the count."""
+        """Write one compact JSON object per event; returns the count.
+
+        When events were dropped at the bound, a final synthetic
+        :data:`LOG_TRUNCATED` row carrying the drop count is appended so
+        a reader of the file alone can tell rows went missing (the
+        report surfaces it as "N events dropped").  The marker is not
+        counted in the return value.
+        """
         from repro.obs.export import write_jsonl
 
-        return write_jsonl(fp, self._rows)
+        count = write_jsonl(fp, self._rows)
+        if self.dropped:
+            write_jsonl(
+                fp,
+                [{"seq": self._seq + 1, "type": LOG_TRUNCATED,
+                  "dropped": self.dropped}],
+            )
+        return count
 
 
 def read_jsonl_events(fp: TextIO) -> List[Dict[str, object]]:

@@ -55,9 +55,11 @@ def metrics_to_csv(snapshot: Dict[str, Dict[str, object]]) -> str:
     """Flatten a registry snapshot to ``name,type,field,value`` CSV.
 
     Scalars (counters/gauges) produce one row; histograms produce one
-    row per summary field and one per non-empty bucket.  Fields
-    containing commas, quotes, or newlines are quoted per RFC 4180, so
-    any registry name round-trips through a CSV reader.
+    row per summary field (including the approximate ``p50``/``p90``/
+    ``p99`` from :func:`bucket_quantile`, matching what
+    :func:`render_metrics` prints) and one per non-empty bucket.
+    Fields containing commas, quotes, or newlines are quoted per RFC
+    4180, so any registry name round-trips through a CSV reader.
     """
     lines = ["name,type,field,value"]
     for name, data in snapshot.items():
@@ -68,6 +70,10 @@ def metrics_to_csv(snapshot: Dict[str, Dict[str, object]]) -> str:
             continue
         for field in ("count", "sum", "min", "max", "mean"):
             lines.append(",".join(cells + [field, _csv_field(data[field])]))
+        for label, q in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99)):
+            lines.append(
+                ",".join(cells + [label, _csv_field(bucket_quantile(data, q))])
+            )
         for bound, count in data["buckets"]:  # type: ignore[union-attr]
             lines.append(
                 ",".join(cells + [_csv_field(f"le_{bound}"), _csv_field(count)])

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import events as obs_events
 
-__all__ = ["build_report", "report_from_files"]
+__all__ = ["build_report", "build_inspect_report", "report_from_files"]
 
 #: Fixed-order categorical series colors (light, dark) — validated
 #: all-pairs safe for up to three simultaneous series.
@@ -328,6 +328,207 @@ def _timeline_section(
     return "".join(out)
 
 
+def _heatmap_chart(
+    days: Sequence[int],
+    matrix: Sequence[Sequence[float]],
+    caption: str,
+    width: int = 660,
+    height: int = 150,
+    max_cols: int = 100,
+) -> str:
+    """Inline-SVG day × CG heatmap: one shaded cell per (day, group).
+
+    Cell intensity is carried in ``fill-opacity`` over the accent color,
+    so the map needs no gradient resources and adapts to dark mode like
+    every other chart.  Long agings are column-sampled down to
+    ``max_cols`` days — a trend surface, not a lossless archive.
+    """
+    if not matrix or not matrix[0]:
+        return '<p class="note">(no per-group samples)</p>'
+    stride = max(1, -(-len(days) // max_cols))
+    cols = list(range(0, len(days), stride))
+    if cols[-1] != len(days) - 1:
+        cols.append(len(days) - 1)
+    ncg = len(matrix[0])
+    pad_l, pad_r, pad_t, pad_b = 44, 8, 6, 20
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    cell_w = plot_w / len(cols)
+    cell_h = plot_h / ncg
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{_esc(caption)}">'
+        f'<text x="{pad_l - 6}" y="{pad_t + 8}" text-anchor="end">cg 0</text>'
+        f'<text x="{pad_l - 6}" y="{pad_t + plot_h:.1f}" text-anchor="end">'
+        f"cg {ncg - 1}</text>"
+    ]
+    for i, col in enumerate(cols):
+        row = matrix[col]
+        x = pad_l + i * cell_w
+        for cg in range(min(ncg, len(row))):
+            value = max(0.0, min(1.0, float(row[cg])))
+            if value < 0.005:
+                continue
+            y = pad_t + cg * cell_h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_w:.2f}" '
+                f'height="{cell_h:.2f}" fill="var(--accent)" '
+                f'fill-opacity="{value:.3f}">'
+                f"<title>day {days[col]}, cg {cg}: {value:.2f}</title>"
+                f"</rect>"
+            )
+    for col_index in (0, len(cols) - 1):
+        x = pad_l + (col_index + 0.5) * cell_w
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - 5}" text-anchor="middle">'
+            f"day {days[cols[col_index]]}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _heatmap_section(events: Sequence[Dict[str, object]]) -> str:
+    """Per-CG occupancy and fragmentation heatmaps from day samples."""
+    from repro.obs.heatmap import heatmap_series
+
+    all_series = heatmap_series(events)
+    if not all_series:
+        return ""
+    out = ["<section><h2>Layout heatmaps (cylinder group × day)</h2>"]
+    for series in all_series[:_MAX_SERIES]:
+        out.append(
+            f'<p class="meta">{_esc(series.label)} — occupancy '
+            f"(darker = fuller group)</p>"
+        )
+        out.append(
+            _heatmap_chart(
+                series.days, series.occupancy,
+                caption=f"{series.label} occupancy heatmap",
+            )
+        )
+        out.append(
+            f'<p class="meta">{_esc(series.label)} — free-space '
+            f"fragmentation (darker = more shattered free space)</p>"
+        )
+        out.append(
+            _heatmap_chart(
+                series.days, series.frag,
+                caption=f"{series.label} fragmentation heatmap",
+            )
+        )
+    if len(all_series) > _MAX_SERIES:
+        out.append(
+            f'<p class="note">(+{len(all_series) - _MAX_SERIES} more '
+            f"series folded)</p>"
+        )
+    out.append("</section>")
+    return "".join(out)
+
+
+def _disktrace_section(trace_rows: Sequence[Dict[str, object]]) -> str:
+    """Request anatomy panels from a ``--disk-trace`` capture."""
+    from repro.obs.export import bucket_quantile
+    from repro.obs.heatmap import (
+        inter_request_histogram,
+        seek_distance_histogram,
+        trace_summary,
+    )
+
+    if not trace_rows:
+        return ""
+    summary = trace_summary(trace_rows)
+    cells = "".join(
+        f"<tr><td>{_esc(label)}</td>"
+        f'<td class="num">{_nice(summary.get(key))}</td></tr>'
+        for label, key in (
+            ("requests", "requests"),
+            ("reads", "reads"),
+            ("writes", "writes"),
+            ("lost rotations", "lost_rotations"),
+            ("track-buffer hits", "buffer_hits"),
+            ("total service (ms)", "service_ms"),
+        )
+    )
+    dropped = summary.get("dropped") or 0
+    note = (
+        f'<p class="note">{dropped:,} requests dropped at the trace '
+        f"bound.</p>"
+        if dropped else ""
+    )
+    out = [
+        "<section><h2>Disk I/O trace</h2><table>"
+        '<tr><th>requests</th><th class="num">count</th></tr>'
+        f"{cells}</table>{note}"
+    ]
+    for title, data in (
+        ("Seek distance (cylinders per paid seek)",
+         seek_distance_histogram(trace_rows)),
+        ("Inter-request distance (cylinders between requests)",
+         inter_request_histogram(trace_rows)),
+    ):
+        if data is None:
+            continue
+        quantiles = " · ".join(
+            f"p{int(q * 100)} ≤ {_nice(bucket_quantile(data, q))}"
+            for q in (0.5, 0.9, 0.99)
+        )
+        out.append(
+            f'<p class="meta">{_esc(title)} — count {data.get("count"):,}, '
+            f"{quantiles}</p>"
+        )
+        out.append(_histogram_chart(title, data))
+    out.append("</section>")
+    return "".join(out)
+
+
+def _history_section(runs: Sequence[Dict[str, object]]) -> str:
+    """Per-policy trend lines across the recorded run registry."""
+    if not runs:
+        return ""
+    score_series: Dict[str, List[Tuple[float, float]]] = {}
+    order: List[str] = []
+    throughput: List[Tuple[float, float]] = []
+    for index, document in enumerate(runs):
+        summary = document.get("summary")
+        summary = summary if isinstance(summary, dict) else {}
+        scores = summary.get("layout_scores")
+        if isinstance(scores, dict):
+            for label, value in scores.items():
+                if label not in score_series:
+                    score_series[label] = []
+                    order.append(label)
+                score_series[label].append((float(index), float(value)))
+        mb_s = summary.get("throughput_mb_s")
+        if isinstance(mb_s, (int, float)):
+            throughput.append((float(index), float(mb_s)))
+    out = [f"<section><h2>Run history ({len(runs)} recorded)</h2>"]
+    plotted = False
+    if score_series:
+        out.append('<p class="meta">final layout score per recorded run</p>')
+        out.append(
+            _line_chart(
+                [(label, score_series[label]) for label in order],
+                y_label="final layout score", x_label="recorded run #",
+            )
+        )
+        plotted = True
+    if len(throughput) > 1:
+        out.append('<p class="meta">aggregate disk throughput (MB/s)</p>')
+        out.append(
+            _line_chart(
+                [("throughput", throughput)], y_label="MB/s",
+                x_label="recorded run #", height=120,
+            )
+        )
+        plotted = True
+    if not plotted:
+        out.append(
+            '<p class="note">(recorded runs carry no layout or '
+            "throughput summaries)</p>"
+        )
+    out.append("</section>")
+    return "".join(out)
+
+
 def _event_summary_section(
     events: Sequence[Dict[str, object]], dropped: int = 0
 ) -> str:
@@ -549,9 +750,153 @@ def _compare_section(
     )
 
 
+def _cg_bar_chart(
+    groups: Sequence[Dict[str, object]],
+    field: str,
+    caption: str,
+    peak: Optional[float] = None,
+    width: int = 660,
+    height: int = 110,
+) -> str:
+    """Per-cylinder-group bar strip for inspect documents."""
+    values = [float(g.get(field, 0.0) or 0.0) for g in groups]  # type: ignore[arg-type]
+    if not values:
+        return '<p class="note">(no groups)</p>'
+    top = peak if peak is not None else (max(values) or 1.0)
+    top = top or 1.0
+    pad_l, pad_r, pad_t, pad_b = 44, 8, 6, 20
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    n = len(values)
+    gap = 1
+    bar_w = max(1.5, (plot_w - gap * (n - 1)) / n)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{_esc(caption)}">'
+        f'<line x1="{pad_l}" y1="{pad_t + plot_h}" x2="{width - pad_r}" '
+        f'y2="{pad_t + plot_h}" stroke="var(--grid)" stroke-width="1"/>'
+        f'<text x="{pad_l - 6}" y="{pad_t + 8}" text-anchor="end">'
+        f"{_nice(top)}</text>"
+    ]
+    for i, value in enumerate(values):
+        x = pad_l + i * (bar_w + gap)
+        h = plot_h * min(1.0, value / top) if value > 0 else 0.0
+        if h:
+            parts.append(
+                f'<rect x="{x:.1f}" y="{pad_t + plot_h - h:.1f}" '
+                f'width="{bar_w:.1f}" height="{h:.1f}" fill="var(--accent)">'
+                f"<title>cg {i}: {_nice(value)}</title></rect>"
+            )
+    for i in (0, n - 1):
+        x = pad_l + i * (bar_w + gap) + bar_w / 2
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - 5}" text-anchor="middle">'
+            f"cg {i}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def build_inspect_report(documents: Sequence[Dict[str, object]]) -> str:
+    """``repro-ffs inspect --html``: placement documents as one page."""
+    sections: List[str] = []
+    labels = " vs ".join(_esc(d.get("label", "?")) for d in documents)
+    sections.append(
+        f"<header><h1>placement inspection — {labels}</h1>"
+        f'<p class="meta">schema {_esc(documents[0].get("schema", "?") if documents else "?")}'
+        f"</p></header>"
+    )
+    for document in documents:
+        groups = document.get("groups")
+        groups = groups if isinstance(groups, list) else []
+        free = document.get("freespace")
+        free = free if isinstance(free, dict) else {}
+        sections.append(
+            f"<section><h2>{_esc(document.get('label', '?'))}</h2>"
+            f'<p class="meta">policy {_esc(document.get("policy", "?"))} · '
+            f"utilization {_nice(document.get('utilization'))} · "
+            f"aggregate layout score "
+            f"{_nice(document.get('aggregate_layout_score'))} · "
+            f"{_nice(free.get('n_runs'))} free runs, largest "
+            f"{_nice(free.get('largest_run'))}</p>"
+        )
+        sections.append('<p class="meta">occupancy by cylinder group</p>')
+        sections.append(
+            _cg_bar_chart(groups, "occupancy", "occupancy by group", peak=1.0)
+        )
+        sections.append(
+            '<p class="meta">spill blocks by group (data homed '
+            "elsewhere)</p>"
+        )
+        sections.append(
+            _cg_bar_chart(groups, "spill_blocks", "spill blocks by group")
+        )
+        sections.append(
+            '<p class="meta">largest free run by group (blocks)</p>'
+        )
+        sections.append(
+            _cg_bar_chart(
+                groups, "largest_free_run", "largest free run by group"
+            )
+        )
+        files = document.get("files")
+        files = files if isinstance(files, list) else []
+        if files:
+            sections.append(
+                f'<p class="meta">largest files (top {len(files)} of '
+                f"{_nice(document.get('files_total'))})</p>"
+            )
+            rows = "".join(
+                f'<tr><td class="num">{_esc(f.get("ino"))}</td>'
+                f'<td class="num">{_nice(f.get("size"))}</td>'
+                f'<td class="num">{_nice(f.get("blocks"))}</td>'
+                f'<td class="num">{_esc(f.get("home_cg"))}</td>'
+                f'<td class="num">{_nice(f.get("cg_span"))}</td>'
+                f'<td class="num">{_nice(f.get("cyl_span"))}</td>'
+                f'<td class="num">{_nice(f.get("layout_score"))}</td></tr>'
+                for f in files
+            )
+            sections.append(
+                "<table><tr>"
+                '<th class="num">ino</th><th class="num">size (bytes)</th>'
+                '<th class="num">blocks</th><th class="num">home cg</th>'
+                '<th class="num">cg span</th><th class="num">cyl span</th>'
+                '<th class="num">score</th></tr>'
+                f"{rows}</table>"
+            )
+        sections.append("</section>")
+    body = "".join(sections)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        f"<title>placement inspection</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        f"<body>{body}</body></html>\n"
+    )
+
+
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
+
+
+def _split_truncation_marker(
+    rows: List[Dict[str, object]],
+) -> Tuple[List[Dict[str, object]], int]:
+    """Separate ``log_truncated`` markers from real events.
+
+    Returns the marker-free rows and the total drop count the markers
+    carried, so the event table counts what happened and the "N events
+    dropped" note reports what didn't survive.
+    """
+    real: List[Dict[str, object]] = []
+    dropped = 0
+    for row in rows:
+        if row.get("type") == obs_events.LOG_TRUNCATED:
+            dropped += int(row.get("dropped", 0) or 0)
+        else:
+            real.append(row)
+    return real, dropped
 
 
 def build_report(
@@ -562,11 +907,14 @@ def build_report(
     compare_events: Optional[Sequence[Dict[str, object]]] = None,
     bench_reports: Optional[Sequence[Dict[str, object]]] = None,
     events_dropped: int = 0,
+    disk_trace: Optional[Sequence[Dict[str, object]]] = None,
+    runs: Optional[Sequence[Dict[str, object]]] = None,
 ) -> str:
     """Render one run (optionally versus a second) as a single HTML page."""
-    events = list(events or [])
+    events, marker_dropped = _split_truncation_marker(list(events or []))
+    events_dropped = events_dropped or marker_dropped
     spans = list(spans or [])
-    compare_events = list(compare_events or [])
+    compare_events, _ = _split_truncation_marker(list(compare_events or []))
     command = manifest.get("command", "run")
     sections = [
         _header_section(manifest, compare=compare_manifest is not None),
@@ -574,11 +922,14 @@ def build_report(
     if compare_manifest is not None:
         sections.append(_compare_section(manifest, compare_manifest))
     sections.append(_timeline_section(events, compare_events))
+    sections.append(_heatmap_section(events))
+    sections.append(_disktrace_section(list(disk_trace or [])))
     sections.append(_histograms_section(manifest))
     sections.append(_timings_section(manifest))
     sections.append(_span_tree_section(spans))
     sections.append(_profile_section(manifest))
     sections.append(_event_summary_section(events, dropped=events_dropped))
+    sections.append(_history_section(list(runs or [])))
     sections.append(_bench_section(bench_reports or []))
     body = "".join(s for s in sections if s)
     return (
@@ -598,11 +949,15 @@ def report_from_files(
     compare_manifest_path: Optional[str] = None,
     compare_events_path: Optional[str] = None,
     bench_dir: Optional[str] = None,
+    disk_trace_path: Optional[str] = None,
+    runs_dir: Optional[str] = None,
 ) -> str:
     """Load the artifacts the CLI names and build the report HTML."""
     from repro.bench.compare import find_reports, load_report
+    from repro.obs.disktrace import read_jsonl_trace
     from repro.obs.events import read_jsonl_events
     from repro.obs.manifest import RunManifest
+    from repro.obs.store import RunStore
 
     with open(manifest_path) as fp:
         manifest = RunManifest.load(fp).to_dict()
@@ -610,6 +965,7 @@ def report_from_files(
     spans: List[Dict[str, object]] = []
     compare_manifest = None
     compare_events: List[Dict[str, object]] = []
+    disk_trace: List[Dict[str, object]] = []
     if events_path:
         with open(events_path) as fp:
             events = read_jsonl_events(fp)
@@ -622,6 +978,9 @@ def report_from_files(
     if compare_events_path:
         with open(compare_events_path) as fp:
             compare_events = read_jsonl_events(fp)
+    if disk_trace_path:
+        with open(disk_trace_path) as fp:
+            disk_trace = read_jsonl_trace(fp)
     bench_reports: List[Dict[str, object]] = []
     if bench_dir is not None:
         for path in find_reports(bench_dir):
@@ -629,6 +988,9 @@ def report_from_files(
                 bench_reports.append(load_report(path))
             except (OSError, ValueError, json.JSONDecodeError):
                 continue
+    runs: List[Dict[str, object]] = []
+    if runs_dir is not None:
+        runs = RunStore(runs_dir).runs()
     return build_report(
         manifest,
         events=events,
@@ -636,4 +998,6 @@ def report_from_files(
         compare_manifest=compare_manifest,
         compare_events=compare_events,
         bench_reports=bench_reports,
+        disk_trace=disk_trace,
+        runs=runs,
     )

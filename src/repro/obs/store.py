@@ -1,0 +1,202 @@
+"""Persistent run registry: ``--record`` and ``repro-ffs history``.
+
+A manifest describes one run; the **run store** makes runs comparable
+*across invocations*.  Every ``--record`` run archives its manifest
+under ``.repro/runs/`` together with a distilled summary — final layout
+score per policy, aggregate disk throughput, seek p50/p99 — so a
+longitudinal question ("has realloc's final score moved since the
+allocator change?") is one ``repro-ffs history`` away instead of a
+replay.  The report's trend-line panel reads the same documents
+(``repro-ffs report --runs-dir``), and a future sharded runner can
+treat the directory as its results substrate: one JSON document per
+run, write-once, lexicographically ordered by run id.
+
+Run ids derive from the manifest's own start timestamp
+(``<epoch-ms>-<command>``), so recording is deterministic given the
+manifest and needs no extra clock sampling; a collision (two recorded
+runs of the same command in the same millisecond) gets a ``.2``,
+``.3``... suffix rather than overwriting history.
+
+Documents carry schema ``repro.obs.runstore/v1``:
+
+```json
+{"schema": "repro.obs.runstore/v1", "id": "...", "command": "...",
+ "preset": "...", "started_at": ..., "summary": {...},
+ "manifest": {...}}
+```
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.export import bucket_quantile, write_json
+from repro.obs.manifest import RunManifest
+
+SCHEMA = "repro.obs.runstore/v1"
+
+#: Default registry location, next to the artifact cache.
+DEFAULT_DIR = ".repro/runs"
+
+__all__ = ["RunStore", "summarize_manifest", "render_history", "SCHEMA",
+           "DEFAULT_DIR"]
+
+
+def summarize_manifest(manifest: RunManifest) -> Dict[str, object]:
+    """Distil the headline numbers a trend line needs from one manifest.
+
+    Missing metrics simply yield missing keys — a ``freespace`` run has
+    no disk counters, an ``experiment fig1`` run no throughput — so the
+    summary of any recorded run is honest about what it observed.
+    """
+    metrics = manifest.metrics
+    summary: Dict[str, object] = {}
+    scores: Dict[str, float] = {}
+    for name, data in metrics.items():
+        if (
+            name.startswith("replay.")
+            and name.endswith(".final_score")
+            and data.get("type") == "gauge"
+        ):
+            label = name[len("replay."):-len(".final_score")]
+            scores[label] = float(data.get("value", 0.0))  # type: ignore[arg-type]
+    if scores:
+        summary["layout_scores"] = {
+            label: round(score, 4) for label, score in sorted(scores.items())
+        }
+
+    def counter(name: str) -> Optional[float]:
+        data = metrics.get(name)
+        if data is None or data.get("type") != "counter":
+            return None
+        return float(data.get("value", 0.0))  # type: ignore[arg-type]
+
+    busy_ms = counter("disk.busy_ms")
+    bytes_read = counter("disk.bytes_read")
+    bytes_written = counter("disk.bytes_written")
+    if busy_ms and bytes_read is not None and bytes_written is not None:
+        mb = (bytes_read + bytes_written) / (1024.0 * 1024.0)
+        summary["throughput_mb_s"] = round(mb / (busy_ms / 1000.0), 3)
+    lost = counter("disk.lost_rotations")
+    if lost is not None:
+        summary["lost_rotations"] = int(lost)
+    seek_hist = metrics.get("disk.seek_time_ms")
+    if seek_hist is not None and seek_hist.get("count"):
+        summary["seek_p50_ms"] = bucket_quantile(seek_hist, 0.5)
+        summary["seek_p99_ms"] = bucket_quantile(seek_hist, 0.99)
+    dist_hist = metrics.get("disk.seek_distance_cyl")
+    if dist_hist is not None and dist_hist.get("count"):
+        summary["seek_distance_p50_cyl"] = bucket_quantile(dist_hist, 0.5)
+        summary["seek_distance_p99_cyl"] = bucket_quantile(dist_hist, 0.99)
+    if manifest.wall_seconds is not None:
+        summary["wall_seconds"] = round(manifest.wall_seconds, 3)
+    return summary
+
+
+class RunStore:
+    """One directory of write-once run documents, ordered by run id."""
+
+    def __init__(self, root: "str | Path | None" = None) -> None:
+        self.root = Path(root) if root is not None else Path(DEFAULT_DIR)
+
+    def run_id(self, manifest: RunManifest) -> str:
+        """Deterministic id for a manifest: ``<epoch-ms>-<command>``."""
+        return f"{int(manifest.started_at * 1000):013d}-{manifest.command}"
+
+    def record(self, manifest: RunManifest) -> str:
+        """Archive one run; returns the id it was stored under."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        base = self.run_id(manifest)
+        run_id = base
+        suffix = 2
+        while (self.root / f"{run_id}.json").exists():
+            run_id = f"{base}.{suffix}"
+            suffix += 1
+        config = manifest.config
+        document: Dict[str, object] = {
+            "schema": SCHEMA,
+            "id": run_id,
+            "command": manifest.command,
+            "preset": config.get("preset"),
+            "started_at": manifest.started_at,
+            "summary": summarize_manifest(manifest),
+            "manifest": manifest.to_dict(),
+        }
+        with open(self.root / f"{run_id}.json", "w") as fp:
+            write_json(fp, document)
+        return run_id
+
+    def runs(self) -> List[Dict[str, object]]:
+        """All readable run documents, oldest first (id order).
+
+        Unreadable or foreign JSON files are skipped, not fatal: the
+        registry is append-only across many sessions and one damaged
+        document must not hide the rest of the history.
+        """
+        if not self.root.is_dir():
+            return []
+        documents: List[Dict[str, object]] = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                with open(path) as fp:
+                    document = json.load(fp)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if (
+                isinstance(document, dict)
+                and str(document.get("schema", "")).startswith(
+                    "repro.obs.runstore/"
+                )
+            ):
+                documents.append(document)
+        return documents
+
+
+def render_history(runs: List[Dict[str, object]]) -> str:
+    """``repro-ffs history``: one table row per recorded run."""
+    from datetime import datetime, timezone
+
+    from repro.analysis.report import render_table
+
+    if not runs:
+        return (
+            "no recorded runs (run any subcommand with --record to "
+            "start the registry)"
+        )
+    rows: List[List[str]] = []
+    for document in runs:
+        summary = document.get("summary")
+        summary = summary if isinstance(summary, dict) else {}
+        started = document.get("started_at")
+        when = (
+            datetime.fromtimestamp(
+                float(started), tz=timezone.utc  # type: ignore[arg-type]
+            ).strftime("%Y-%m-%d %H:%M")
+            if isinstance(started, (int, float))
+            else "?"
+        )
+        scores = summary.get("layout_scores")
+        scores = scores if isinstance(scores, dict) else {}
+        score_text = " ".join(
+            f"{label}={value:.3f}" for label, value in scores.items()
+        ) or "-"
+        throughput = summary.get("throughput_mb_s")
+        seek_p99 = summary.get("seek_p99_ms")
+        wall = summary.get("wall_seconds")
+        rows.append([
+            str(document.get("id", "?")),
+            when,
+            str(document.get("preset") or "-"),
+            score_text,
+            f"{throughput:.2f}" if isinstance(throughput, (int, float)) else "-",
+            f"{seek_p99:g}" if isinstance(seek_p99, (int, float)) else "-",
+            f"{wall:.1f}" if isinstance(wall, (int, float)) else "-",
+        ])
+    return render_table(
+        ["run", "started (UTC)", "preset", "final layout scores",
+         "MB/s", "seek p99 (ms)", "wall (s)"],
+        rows,
+        title=f"run history ({len(runs)} recorded)",
+    )

@@ -83,6 +83,10 @@ def _telemetry_payload(registry, tracer) -> Dict[str, object]:
     if events is not None:
         payload["events"] = events.rows()
         payload["events_dropped"] = events.dropped
+    disktrace = obs.disktrace_or_none()
+    if disktrace is not None:
+        payload["disktrace"] = disktrace.rows()
+        payload["disktrace_dropped"] = disktrace.dropped
     return payload
 
 
@@ -94,6 +98,7 @@ def _warm_aging_task(
     cache_dir: str,
     telemetry: bool,
     events: bool,
+    disktrace: bool = False,
 ) -> Dict[str, object]:
     """Build (and persist) one aged file system in a worker."""
     from repro.experiments import config
@@ -105,7 +110,8 @@ def _warm_aging_task(
         return {"wall": time.perf_counter() - start}
     config.clear_caches()  # rebind instrumented objects to this session
     with obs.session(
-        events=obs.EventLog() if events else None
+        events=obs.EventLog() if events else None,
+        disktrace=obs.DiskTrace() if disktrace else None,
     ) as (registry, tracer):
         with tracer.span(f"parallel.warm.{policy or 'real'}", preset=preset):
             _run_accessor(config, accessor, policy, preset)
@@ -127,6 +133,7 @@ def _experiment_group_task(
     cache_dir: str,
     telemetry: bool,
     events: bool,
+    disktrace: bool = False,
 ) -> Dict[str, object]:
     """Run one affinity group of experiments in a worker, in order."""
     from repro.experiments import config
@@ -145,7 +152,8 @@ def _experiment_group_task(
         return {"results": _run_group()}
     config.clear_caches()  # rebind instrumented objects to this session
     with obs.session(
-        events=obs.EventLog() if events else None
+        events=obs.EventLog() if events else None,
+        disktrace=obs.DiskTrace() if disktrace else None,
     ) as (registry, tracer):
         results = _run_group()
         payload = _telemetry_payload(registry, tracer)
@@ -177,6 +185,16 @@ def _absorb_telemetry(payload: Dict[str, object], origin: str) -> None:
             dropped=payload.get("events_dropped", 0),
         )
         events.adopt_rows(rows, origin=origin)  # type: ignore[arg-type]
+    disktrace = obs.disktrace_or_none()
+    if disktrace is not None and "disktrace" in payload:
+        # Trace rows are adopted verbatim (sequence renumbered only, no
+        # origin stamp): tasks are absorbed in paper order and the aging
+        # replay issues no disk requests, so the merged stream is
+        # byte-identical to a serial run's — and pinned by tests.
+        disktrace.adopt_rows(payload["disktrace"])  # type: ignore[arg-type]
+        disktrace.adopt_dropped(
+            payload.get("disktrace_dropped", 0)  # type: ignore[arg-type]
+        )
 
 
 def iter_all_parallel(
@@ -198,6 +216,7 @@ def iter_all_parallel(
     cache_dir = str(cache.directory())
     telemetry = obs.enabled()
     events_on = obs.events_or_none() is not None
+    disktrace_on = obs.disktrace_or_none() is not None
     registry = obs.metrics_or_none()
     if registry is not None:
         registry.gauge("parallel.jobs").set(jobs)
@@ -211,6 +230,7 @@ def iter_all_parallel(
                 pool.submit(
                     _warm_aging_task, accessor, policy, preset,
                     cache_enabled, cache_dir, telemetry, events_on,
+                    disktrace_on,
                 )
                 for accessor, policy in _AGING_TASKS
             ]
@@ -230,6 +250,7 @@ def iter_all_parallel(
                 futures[group] = pool.submit(
                     _experiment_group_task, group, preset,
                     cache_enabled, cache_dir, telemetry, events_on,
+                    disktrace_on,
                 )
         absorbed = set()
         for name in EXPERIMENTS:

@@ -1,0 +1,141 @@
+"""Placement-inspection tests: the engine's accounting invariants, the
+deterministic document, and the ``repro-ffs inspect`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.analysis.placement import (
+    SCHEMA,
+    inspect_filesystem,
+    render_comparison,
+    render_inspection,
+)
+from repro.cli import main
+from repro.ffs.image import dump_filesystem
+
+
+@pytest.fixture(scope="module")
+def ffs_doc(aged_ffs):
+    return inspect_filesystem(aged_ffs.fs, label="ffs")
+
+
+@pytest.fixture(scope="module")
+def realloc_doc(aged_realloc):
+    return inspect_filesystem(aged_realloc.fs, label="realloc")
+
+
+class TestInspectFilesystem:
+    def test_document_is_deterministic(self, aged_ffs, ffs_doc):
+        again = inspect_filesystem(aged_ffs.fs, label="ffs")
+        assert json.dumps(ffs_doc, sort_keys=True) == \
+               json.dumps(again, sort_keys=True)
+        assert ffs_doc["schema"] == SCHEMA
+
+    def test_label_defaults_to_policy(self, aged_ffs):
+        document = inspect_filesystem(aged_ffs.fs)
+        assert document["label"] == aged_ffs.fs.policy.name
+        assert document["policy"] == aged_ffs.fs.policy.name
+
+    def test_group_accounting_adds_up(self, aged_ffs, ffs_doc):
+        fs = aged_ffs.fs
+        groups = ffs_doc["groups"]
+        assert len(groups) == fs.params.ncg
+        assert [g["cg"] for g in groups] == list(range(fs.params.ncg))
+        # Every data block and every homed file is counted exactly once.
+        assert sum(g["data_blocks"] for g in groups) == sum(
+            len(inode.data_block_list()) for inode in fs.files()
+        )
+        assert sum(g["files_homed"] for g in groups) == \
+               ffs_doc["files_total"]
+        for g in groups:
+            assert 0.0 <= g["occupancy"] <= 1.0
+            assert g["spill_blocks"] <= g["data_blocks"]
+            assert g["largest_free_run"] <= g["free_blocks"]
+            lo, hi = g["cylinders"]
+            assert lo <= hi
+
+    def test_spill_is_where_fallbacks_put_it(self, ffs_doc):
+        # An aged file system has seen allocator fallbacks, so some
+        # group must hold blocks homed elsewhere.
+        assert sum(g["spill_blocks"] for g in ffs_doc["groups"]) > 0
+
+    def test_files_sorted_by_size_and_capped(self, aged_ffs):
+        document = inspect_filesystem(aged_ffs.fs, top_files=5)
+        files = document["files"]
+        assert len(files) == 5
+        sizes = [f["size"] for f in files]
+        assert sizes == sorted(sizes, reverse=True)
+        for f in files:
+            assert f["cg_span"] >= 1
+            assert f["blocks"] >= 1
+
+    def test_render_inspection_carries_the_headlines(self, ffs_doc):
+        text = render_inspection(ffs_doc)
+        assert "placement inspection — ffs" in text
+        assert "cylinder groups" in text
+        assert "largest files" in text
+
+    def test_render_comparison_names_both_sides(
+        self, ffs_doc, realloc_doc
+    ):
+        text = render_comparison(ffs_doc, realloc_doc)
+        assert "placement comparison" in text
+        assert "occ ffs" in text and "occ realloc" in text
+
+    def test_realloc_beats_ffs_on_layout(self, ffs_doc, realloc_doc):
+        # The paper's Section 4 headline, visible through inspection.
+        assert realloc_doc["aggregate_layout_score"] > \
+               ffs_doc["aggregate_layout_score"]
+
+
+class TestInspectCli:
+    @pytest.fixture()
+    def image_path(self, tmp_path, aged_ffs):
+        path = tmp_path / "aged.img.json"
+        with open(path, "w") as fp:
+            dump_filesystem(aged_ffs.fs, fp)
+        return path
+
+    def test_json_output_is_deterministic(self, image_path, capsys):
+        assert main(["inspect", str(image_path), "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["inspect", str(image_path), "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        document = json.loads(first)
+        assert document["schema"] == SCHEMA
+        assert document["label"] == "aged.img.json"
+
+    def test_two_images_append_a_comparison(self, image_path, capsys):
+        assert main([
+            "inspect", str(image_path), str(image_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("placement inspection") == 2
+        assert "placement comparison" in out
+
+    def test_three_images_is_a_usage_error(self, image_path, capsys):
+        assert main([
+            "inspect", str(image_path), str(image_path), str(image_path),
+        ]) == 2
+        assert "at most two" in capsys.readouterr().err
+
+    def test_missing_image_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope.json")]) == 2
+        assert "inspect:" in capsys.readouterr().err
+
+    def test_html_output_is_self_contained(
+        self, image_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "inspect.html"
+        assert main([
+            "inspect", str(image_path), "--html", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        html = out_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        for forbidden in ("http://", "https://", "<script", "@import",
+                          "url("):
+            assert forbidden not in html

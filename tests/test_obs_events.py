@@ -86,6 +86,26 @@ class TestEventLog:
         buffer.seek(0)
         assert obs_events.read_jsonl_events(buffer) == log.rows()
 
+    def test_jsonl_appends_truncation_marker_when_rows_dropped(self):
+        log = obs.EventLog(max_events=2)
+        for i in range(5):
+            log.emit(obs_events.CACHE_HIT, n=i)
+        buffer = io.StringIO()
+        assert log.write_jsonl(buffer) == 2  # marker not counted
+        buffer.seek(0)
+        rows = obs_events.read_jsonl_events(buffer)
+        assert len(rows) == 3
+        assert rows[-1] == {
+            "seq": 6, "type": obs_events.LOG_TRUNCATED, "dropped": 3,
+        }
+
+    def test_untruncated_jsonl_has_no_marker(self):
+        log = obs.EventLog()
+        log.emit(obs_events.CACHE_HIT)
+        buffer = io.StringIO()
+        log.write_jsonl(buffer)
+        assert obs_events.LOG_TRUNCATED not in buffer.getvalue()
+
 
 class TestDaySamples:
     """day_sample events mirror the Timeline exactly, day for day."""

@@ -70,6 +70,16 @@ class TestCsvEdgeCases:
         out = metrics_to_csv(snapshot)
         assert "quiet,histogram,count,0" in out
 
+    def test_histogram_rows_include_quantiles(self):
+        data = _histogram_data(range(100), buckets=[25, 50, 75])
+        out = metrics_to_csv({"h": data})
+        assert "h,histogram,p50,50" in out
+        assert "h,histogram,p90,99" in out
+        assert "h,histogram,p99,99" in out
+        # Quantile rows come before the bucket rows, with the other
+        # summary fields.
+        assert out.index("p99") < out.index("le_")
+
     def test_awkward_names_round_trip_through_a_csv_reader(self):
         snapshot = {
             'alloc,"weird"\nname': {"type": "counter", "value": 3},

@@ -143,6 +143,120 @@ class TestBuildReport:
         assert html.startswith("<!DOCTYPE html>")
         assert "run report" in html
 
+    def test_empty_event_log_renders_without_curves(self, manifest):
+        html = build_report(manifest, events=[])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Layout score" not in html
+        assert "Layout heatmaps" not in html
+
+    def test_events_without_day_samples_render(self, manifest):
+        rows = [
+            {"seq": 1, "type": "cache_hit", "hint": "tiny"},
+            {"seq": 2, "type": "experiment_start", "name": "fig1"},
+        ]
+        html = build_report(manifest, events=rows)
+        assert "Event log" in html
+        assert "Layout score" not in html
+
+    def test_zero_duration_spans_render(self, manifest):
+        spans = [
+            {"span_id": 1, "parent_id": None, "name": "cli.age",
+             "wall_elapsed_s": 0.0, "sim_elapsed": None, "attrs": {}},
+            {"span_id": 2, "parent_id": 1, "name": "replay.day",
+             "wall_elapsed_s": 0.0, "sim_elapsed": 0.0, "attrs": {}},
+        ]
+        html = build_report(manifest, spans=spans)
+        assert "Span tree" in html
+        assert "cli.age" in html
+
+    def test_truncation_marker_surfaces_dropped_count(self, manifest):
+        rows = [
+            {"seq": 1, "type": "cache_hit", "hint": "tiny"},
+            {"seq": 9, "type": "log_truncated", "dropped": 42},
+        ]
+        html = build_report(manifest, events=rows)
+        assert "42 events dropped" in html
+        # The marker itself is bookkeeping, not an event row.
+        assert "log_truncated" not in html
+
+
+class TestNewSections:
+    def _heat_events(self):
+        rows = []
+        for day in range(3):
+            rows.append({
+                "seq": day + 1, "type": "day_sample", "label": "FFS",
+                "day": day, "layout_score": 0.9, "utilization": 0.5,
+                "cg_occupancy": [0.2 + 0.1 * day, 0.4],
+                "cg_frag": [0.1, 0.3],
+            })
+        return rows
+
+    def _trace_rows(self):
+        return [
+            {"seq": i + 1, "kind": "read", "byte": 0, "nbytes": 8192,
+             "cyl": i * 10, "seek_cyls": 10 if i else 0,
+             "seek_ms": 2.0 if i else 0.0, "rot_ms": 1.0,
+             "transfer_ms": 0.5, "service_ms": 3.5,
+             "lost_rot": False, "buf_hit": False}
+            for i in range(4)
+        ]
+
+    def test_heatmap_section_from_day_samples(self, manifest):
+        html = build_report(manifest, events=self._heat_events())
+        assert "Layout heatmaps" in html
+        assert "occupancy" in html
+        assert "fill-opacity" in html
+
+    def test_day_samples_without_cg_vectors_skip_heatmaps(
+        self, manifest, day_events
+    ):
+        # Older event logs carry no cg_occupancy; the report must not
+        # invent an empty panel for them.
+        html = build_report(manifest, events=day_events)
+        assert "Layout score" in html
+        assert "Layout heatmaps" not in html
+
+    def test_disktrace_section_with_histograms(self, manifest):
+        html = build_report(manifest, disk_trace=self._trace_rows())
+        assert "Disk I/O trace" in html
+        assert "Seek distance" in html
+        assert "Inter-request" in html
+
+    def test_disktrace_truncation_is_noted(self, manifest):
+        rows = self._trace_rows() + [
+            {"seq": 9, "kind": "truncated", "dropped": 5},
+        ]
+        html = build_report(manifest, disk_trace=rows)
+        assert "Disk I/O trace" in html
+        assert "5" in html and "dropped" in html
+
+    def test_history_section_draws_trends(self, manifest):
+        runs = [
+            {"schema": "repro.obs.runstore/v1", "id": f"r{i}",
+             "command": "experiment", "preset": "tiny",
+             "started_at": 1_700_000_000.0 + i,
+             "summary": {
+                 "layout_scores": {"FFS": 0.7 + 0.01 * i},
+                 "throughput_mb_s": 2.0 + 0.1 * i,
+             }}
+            for i in range(3)
+        ]
+        html = build_report(manifest, runs=runs)
+        assert "Run history" in html
+        assert "recorded run" in html
+
+    def test_all_new_sections_stay_self_contained(self, manifest):
+        html = build_report(
+            manifest, events=self._heat_events(),
+            disk_trace=self._trace_rows(),
+            runs=[{"schema": "repro.obs.runstore/v1", "id": "r0",
+                   "started_at": 1.0, "summary": {}}],
+        )
+        for forbidden in ("http://", "https://", "<script", "@import",
+                          "url("):
+            assert forbidden not in html
+
 
 class TestReportCli:
     def test_report_subcommand_end_to_end(self, tmp_path, capsys):

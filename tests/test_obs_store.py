@@ -1,0 +1,161 @@
+"""Run-registry tests: manifest summaries, the write-once store, and
+the history rendering behind ``repro-ffs history``."""
+
+import json
+
+from repro import obs
+from repro.cli import main
+from repro.obs.store import (
+    SCHEMA,
+    RunStore,
+    render_history,
+    summarize_manifest,
+)
+
+
+def _manifest(started_at=1_700_000_000.0, command="experiment",
+              metrics=None, wall=12.5):
+    manifest = obs.RunManifest(command=command, config={"preset": "tiny"})
+    manifest.started_at = started_at
+    manifest.finish(wall, metrics or {})
+    return manifest
+
+
+def _full_metrics():
+    return {
+        "replay.FFS.final_score": {"type": "gauge", "value": 0.74321},
+        "replay.FFS + Realloc.final_score": {
+            "type": "gauge", "value": 0.91234,
+        },
+        "disk.busy_ms": {"type": "counter", "value": 2000.0},
+        "disk.bytes_read": {"type": "counter", "value": 3 * 1024 * 1024},
+        "disk.bytes_written": {"type": "counter", "value": 1024 * 1024},
+        "disk.lost_rotations": {"type": "counter", "value": 17},
+        "disk.seek_time_ms": {
+            "type": "histogram", "count": 4, "sum": 14.0,
+            "min": 1.0, "max": 8.0, "mean": 3.5,
+            "buckets": [[2, 2], [8, 2], ["+inf", 0]],
+        },
+    }
+
+
+class TestSummarizeManifest:
+    def test_full_manifest_distils_every_headline(self):
+        summary = summarize_manifest(_manifest(metrics=_full_metrics()))
+        assert summary["layout_scores"] == {
+            "FFS": 0.7432, "FFS + Realloc": 0.9123,
+        }
+        # 4 MB over 2 busy seconds.
+        assert summary["throughput_mb_s"] == 2.0
+        assert summary["lost_rotations"] == 17
+        assert summary["seek_p50_ms"] == 2
+        assert summary["seek_p99_ms"] == 8.0
+        assert summary["wall_seconds"] == 12.5
+
+    def test_missing_metrics_yield_missing_keys(self):
+        summary = summarize_manifest(_manifest(metrics={}))
+        for absent in ("layout_scores", "throughput_mb_s",
+                       "lost_rotations", "seek_p50_ms"):
+            assert absent not in summary
+        assert summary["wall_seconds"] == 12.5
+
+    def test_zero_busy_time_produces_no_throughput(self):
+        metrics = {
+            "disk.busy_ms": {"type": "counter", "value": 0.0},
+            "disk.bytes_read": {"type": "counter", "value": 100.0},
+            "disk.bytes_written": {"type": "counter", "value": 0.0},
+        }
+        assert "throughput_mb_s" not in summarize_manifest(
+            _manifest(metrics=metrics)
+        )
+
+
+class TestRunStore:
+    def test_record_writes_one_schema_tagged_document(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        run_id = store.record(_manifest(metrics=_full_metrics()))
+        assert run_id == "1700000000000-experiment"
+        document = json.loads((store.root / f"{run_id}.json").read_text())
+        assert document["schema"] == SCHEMA
+        assert document["preset"] == "tiny"
+        assert document["summary"]["layout_scores"]["FFS"] == 0.7432
+        assert document["manifest"]["command"] == "experiment"
+
+    def test_same_millisecond_collision_gets_a_suffix(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        assert store.record(_manifest()) == "1700000000000-experiment"
+        assert store.record(_manifest()) == "1700000000000-experiment.2"
+        assert store.record(_manifest()) == "1700000000000-experiment.3"
+        assert len(store.runs()) == 3
+
+    def test_runs_ordered_by_id_and_skip_foreign_files(self, tmp_path):
+        root = tmp_path / "runs"
+        store = RunStore(root)
+        store.record(_manifest(started_at=1_700_000_002.0))
+        store.record(_manifest(started_at=1_700_000_001.0))
+        (root / "notes.json").write_text('{"schema": "something.else/v1"}')
+        (root / "broken.json").write_text("{not json")
+        runs = store.runs()
+        assert [r["started_at"] for r in runs] == [
+            1_700_000_001.0, 1_700_000_002.0,
+        ]
+
+    def test_missing_directory_is_empty_history(self, tmp_path):
+        assert RunStore(tmp_path / "absent").runs() == []
+
+
+class TestRenderHistory:
+    def test_empty_history_explains_how_to_start(self):
+        assert "--record" in render_history([])
+
+    def test_table_carries_scores_and_throughput(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        store.record(_manifest(metrics=_full_metrics()))
+        text = render_history(store.runs())
+        assert "run history (1 recorded)" in text
+        assert "1700000000000-experiment" in text
+        assert "FFS=0.743" in text
+        assert "2.00" in text  # MB/s
+
+    def test_summary_free_document_renders_dashes(self):
+        text = render_history([{"schema": SCHEMA, "id": "x-run"}])
+        assert "x-run" in text
+        assert "-" in text
+
+
+class TestHistoryCli:
+    def test_history_lists_recorded_runs(self, tmp_path, capsys):
+        store = RunStore(tmp_path / "runs")
+        store.record(_manifest(metrics=_full_metrics()))
+        assert main(["history", "--runs-dir", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "run history (1 recorded)" in out
+
+    def test_history_json_dumps_the_documents(self, tmp_path, capsys):
+        store = RunStore(tmp_path / "runs")
+        store.record(_manifest())
+        assert main([
+            "history", "--runs-dir", str(store.root), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["schema"] == SCHEMA
+
+    def test_record_flag_archives_an_age_run(self, tmp_path, capsys):
+        runs_dir = tmp_path / "runs"
+        assert main([
+            "age", "--preset", "tiny", "--record",
+            "--runs-dir", str(runs_dir), "--no-cache",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "[obs] recorded run" in err
+        runs = RunStore(runs_dir).runs()
+        assert len(runs) == 1
+        assert runs[0]["command"] == "age"
+        assert runs[0]["preset"] == "tiny"
+        # Which metrics the summary carries depends on whether this
+        # process had already aged the preset (the in-process memo skips
+        # the replay, and with it the final-score gauges), so only the
+        # always-present field is pinned here; the full summary path is
+        # covered by TestSummarizeManifest.
+        assert "wall_seconds" in runs[0]["summary"]
