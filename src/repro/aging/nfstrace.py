@@ -25,6 +25,7 @@ from typing import Dict, List, Sequence
 
 from repro.aging.diff import directory_activity
 from repro.aging.workload import CREATE, DELETE, WorkloadRecord
+from repro import rng as rng_module
 from repro.rng import SeededStreams
 from repro.units import KB
 
@@ -95,7 +96,7 @@ class SyntheticNFSTrace:
             self.days.append(files)
 
     @staticmethod
-    def _poisson(rng, lam: float) -> int:
+    def _poisson(rng: rng_module.Random, lam: float) -> int:
         if lam <= 0:
             return 0
         if lam > 500:

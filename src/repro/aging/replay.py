@@ -19,7 +19,7 @@ end of every simulated day, producing the curves of Figures 1 and 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro import obs
 from repro.aging.workload import APPEND, CREATE, Workload
@@ -28,6 +28,29 @@ from repro.analysis.timeline import DailySample, Timeline
 from repro.obs import events as obs_events
 from repro.errors import FaultInjectionError, OutOfSpaceError, SimulationError
 from repro.ffs.filesystem import FileSystem
+from repro.obs.trace import Span, Tracer
+
+#: Replay engines: the columnar batch loop is the default; the per-record
+#: reference path exists for differential testing and debugging.
+ENGINES = ("columnar", "perop")
+
+#: Version tag of the replay engine's observable output format.  Part of
+#: the replay cache key: bump it whenever an engine change could alter
+#: replay results, so stale cache entries miss instead of being served.
+ENGINE_VERSION = "columnar/v1"
+
+#: Workload operations replayed by this process, across all replays.
+_ops_replayed = 0
+
+
+def ops_replayed() -> int:
+    """Monotonic count of workload ops replayed in this process.
+
+    The bench suite samples this around each experiment to derive an
+    ops/second throughput figure for the aging-bound experiments; cache
+    hits replay nothing and therefore don't move it.
+    """
+    return _ops_replayed
 
 if TYPE_CHECKING:  # imported lazily to keep repro.faults optional at runtime
     from repro.faults.injector import CrashSummary, FaultInjector
@@ -71,7 +94,7 @@ class AgingReplayer:
         fs: FileSystem,
         label: str = "aged",
         faults: "Optional[FaultInjector]" = None,
-    ):
+    ) -> None:
         self.fs = fs
         self.label = label
         #: Optional fault injector (:mod:`repro.faults`).  Every call
@@ -85,6 +108,20 @@ class AgingReplayer:
         self._pairs: Dict[int, "tuple[int, int]"] = {}  # ino -> (opt, countable)
         self._optimal_total = 0
         self._countable_total = 0
+        #: Inodes whose last growth hit ENOSPC part-way: their flushed
+        #: frontier sits below the block list, so the realloc policy may
+        #: relocate blocks the incremental append delta assumes frozen —
+        #: the next update on such an inode rescans it in full.
+        self._dirty_inos: Set[int] = set()
+        #: Blocks walked by pair accounting, for regression budgets: the
+        #: incremental path keeps this linear in blocks *written* where a
+        #: full per-append rescan would be quadratic in file size.
+        self.pair_scan_blocks = 0
+        #: Regular files live when replay() started, so day samples can
+        #: report the live-file count without walking the inode table.
+        self._initial_files = 0
+        self._frags_per_cg = fs.params.blocks_per_cg * fs.params.frags_per_block
+        self._occupancy_buf: List[float] = []
         self._seed_directories()
 
     def _seed_directories(self) -> None:
@@ -118,14 +155,139 @@ class AgingReplayer:
         self,
         workload: Workload,
         sample_days: bool = True,
+        engine: str = "columnar",
     ) -> ReplayResult:
         """Apply every operation; returns the result with daily samples.
+
+        ``engine`` selects the loop implementation: ``"columnar"`` (the
+        default) iterates the workload's structure-of-arrays columns in
+        precomputed day slices; ``"perop"`` is the per-record reference
+        path.  Both produce identical results — the differential suite
+        in ``tests/test_aging_columnar.py`` pins that.
 
         With telemetry enabled each simulated day becomes one span
         (simulated clock in days, attrs carrying that day's op/ENOSPC
         tallies) and the run's totals land in process-wide counters.
         """
+        global _ops_replayed
+        _ops_replayed += len(workload)
+        if engine == "columnar":
+            return self._replay_columnar(workload, sample_days)
+        if engine == "perop":
+            return self._replay_perop(workload, sample_days)
+        raise ValueError(f"unknown replay engine {engine!r}; pick from {ENGINES}")
+
+    def _replay_columnar(
+        self, workload: Workload, sample_days: bool
+    ) -> ReplayResult:
+        """The batched day-slice loop over the workload's columns."""
+        cols = workload.columns()
         result = ReplayResult(fs=self.fs, timeline=Timeline(label=self.label))
+        self._initial_files = len(self.fs.files())
+        tr = obs.tracer_or_none()
+        day_span = (
+            tr.begin("replay.day", sim=0, label=self.label, day=0)
+            if tr is not None
+            else None
+        )
+        day_start_ops = day_start_skips = 0
+        current_day = 0
+        fault_day = 0
+        # Hot-loop locals: every attribute below is read once per op.
+        fs = self.fs
+        faults = self._faults
+        ops = cols.op
+        times = cols.time
+        file_ids = cols.file_id
+        sizes = cols.size
+        src_inos = cols.src_ino
+        live = result.live_files
+        try:
+            for day, (lo, hi) in enumerate(cols.day_slices):
+                if lo == hi:
+                    continue  # empty day: sampled by a later catch-up
+                if faults is not None and day != fault_day:
+                    fault_day = day
+                    faults.begin_day(day)
+                while sample_days and day > current_day:
+                    self._sample(result, current_day)
+                    if tr is not None:
+                        tr.end(
+                            day_span,
+                            sim=current_day + 1,
+                            ops=result.ops_applied - day_start_ops,
+                            enospc=result.skipped_no_space - day_start_skips,
+                            layout_score=round(self.current_layout_score(), 4),
+                        )
+                        day_start_ops = result.ops_applied
+                        day_start_skips = result.skipped_no_space
+                        day_span = tr.begin(
+                            "replay.day",
+                            sim=current_day + 1,
+                            label=self.label,
+                            day=current_day + 1,
+                        )
+                    current_day += 1
+                for i in range(lo, hi):
+                    code = ops[i]
+                    if code == 0:  # create
+                        directory = self.target_directory(src_inos[i])
+                        if faults is not None:
+                            faults.before_op(fs, "create", None)
+                        size = sizes[i]
+                        try:
+                            ino = fs.create_file(directory, size, when=times[i])
+                        except OutOfSpaceError:
+                            result.skipped_no_space += 1
+                            continue
+                        self._track_pairs(ino)
+                        live[file_ids[i]] = ino
+                        result.creates += 1
+                        result.bytes_written += size
+                        op_kind = "create"
+                    elif code == 1:  # append
+                        ino = live.get(file_ids[i])
+                        if ino is None:
+                            continue  # its create was skipped for space
+                        if faults is not None:
+                            faults.before_op(fs, "append", ino)
+                        size = sizes[i]
+                        try:
+                            self._append_tracked(ino, size, times[i])
+                        except OutOfSpaceError:
+                            result.skipped_no_space += 1
+                            continue
+                        result.bytes_written += size
+                        op_kind = "append"
+                    else:  # delete
+                        ino = live.pop(file_ids[i], None)
+                        if ino is None:
+                            continue  # its create was skipped for space
+                        if faults is not None:
+                            faults.before_op(fs, "delete", ino)
+                        fs.delete_file(ino, when=times[i])
+                        self._untrack_pairs(ino)
+                        result.deletes += 1
+                        op_kind = "delete"
+                    result.ops_applied += 1
+                    if faults is not None:
+                        # ENOSPC-skipped ops never reach here: they are
+                        # not buffered and cannot be crash candidates.
+                        faults.after_op(fs, op_kind, ino)
+        except FaultInjectionError as exc:
+            return self._crash_result(
+                result, exc, tr, day_span, current_day,
+                day_start_ops, day_start_skips,
+            )
+        return self._finish_replay(
+            result, sample_days, tr, day_span, current_day,
+            day_start_ops, day_start_skips,
+        )
+
+    def _replay_perop(self, workload: Workload, sample_days: bool) -> ReplayResult:
+        """The per-record reference loop (identical results, no batching)."""
+        result = ReplayResult(fs=self.fs, timeline=Timeline(label=self.label))
+        self._initial_files = len(self.fs.files())
         tr = obs.tracer_or_none()
         day_span = (
             tr.begin("replay.day", sim=0, label=self.label, day=0)
@@ -183,12 +345,10 @@ class AgingReplayer:
                     if self._faults is not None:
                         self._faults.before_op(self.fs, "append", ino)
                     try:
-                        self.fs.append(ino, record.size, when=record.time)
+                        self._append_tracked(ino, record.size, record.time)
                     except OutOfSpaceError:
-                        self._track_pairs(ino)  # partial growth still counts
                         result.skipped_no_space += 1
                         continue
-                    self._track_pairs(ino)
                     result.bytes_written += record.size
                     op_kind = "append"
                 else:
@@ -207,24 +367,54 @@ class AgingReplayer:
                     # buffered and cannot be crash candidates.
                     self._faults.after_op(self.fs, op_kind, ino)
         except FaultInjectionError as exc:
-            # The plan's crash point fired: return the partial result.
-            # The timeline deliberately gets no sample for the crash day
-            # (the machine went down before the end-of-day snapshot).
-            result.crashed = True
-            result.crash = getattr(exc, "summary", None)
-            if tr is not None:
-                tr.end(
-                    day_span,
-                    sim=current_day + 1,
-                    ops=result.ops_applied - day_start_ops,
-                    enospc=result.skipped_no_space - day_start_skips,
-                    layout_score=round(self.current_layout_score(), 4),
-                    crashed=True,
-                )
-            return result
+            return self._crash_result(
+                result, exc, tr, day_span, current_day,
+                day_start_ops, day_start_skips,
+            )
+        return self._finish_replay(
+            result, sample_days, tr, day_span, current_day,
+            day_start_ops, day_start_skips,
+        )
+
+    def _crash_result(
+        self,
+        result: ReplayResult,
+        exc: FaultInjectionError,
+        tr: "Optional[Tracer]",
+        day_span: "Optional[Span]",
+        current_day: int,
+        day_start_ops: int,
+        day_start_skips: int,
+    ) -> ReplayResult:
+        # The plan's crash point fired: return the partial result.
+        # The timeline deliberately gets no sample for the crash day
+        # (the machine went down before the end-of-day snapshot).
+        result.crashed = True
+        result.crash = getattr(exc, "summary", None)
+        if tr is not None and day_span is not None:
+            tr.end(
+                day_span,
+                sim=current_day + 1,
+                ops=result.ops_applied - day_start_ops,
+                enospc=result.skipped_no_space - day_start_skips,
+                layout_score=round(self.current_layout_score(), 4),
+                crashed=True,
+            )
+        return result
+
+    def _finish_replay(
+        self,
+        result: ReplayResult,
+        sample_days: bool,
+        tr: "Optional[Tracer]",
+        day_span: "Optional[Span]",
+        current_day: int,
+        day_start_ops: int,
+        day_start_skips: int,
+    ) -> ReplayResult:
         if sample_days:
             self._sample(result, current_day)
-        if tr is not None:
+        if tr is not None and day_span is not None:
             tr.end(
                 day_span,
                 sim=current_day + 1,
@@ -245,11 +435,14 @@ class AgingReplayer:
         return result
 
     def _sample(self, result: ReplayResult, day: int) -> None:
+        # The replayer's own live map tracks every create/delete it
+        # applies, so the live-file count is bookkeeping — not a walk
+        # over the whole inode table every sampled day.
         sample = DailySample(
             day=day,
             layout_score=self.current_layout_score(),
             utilization=self.fs.utilization(),
-            live_files=len(self.fs.files()),
+            live_files=self._initial_files + len(result.live_files),
             ops_applied=result.ops_applied,
         )
         result.timeline.add(sample)
@@ -279,12 +472,17 @@ class AgingReplayer:
         from repro.analysis.freespace import free_space_stats
 
         stats = free_space_stats(self.fs)
-        frags_per_cg = self.fs.params.blocks_per_cg * self.fs.params.frags_per_block
+        frags_per_cg = self._frags_per_cg
         per_cg = [
             round(1.0 - cg.free_frags / frags_per_cg, 4)
             for cg in self.fs.sb.cgs
         ]
-        occupancy = sorted(per_cg)
+        # Sort into one reusable buffer: the per-day vectors above must
+        # be fresh lists (they are stored in the emitted event), but the
+        # decile scratch space does not escape this method.
+        occupancy = self._occupancy_buf
+        occupancy[:] = per_cg
+        occupancy.sort()
         n = len(occupancy)
         deciles = [
             round(occupancy[min(n - 1, round(i * (n - 1) / 10))], 4)
@@ -324,7 +522,9 @@ class AgingReplayer:
     def _track_pairs(self, ino: int) -> None:
         self._untrack_pairs(ino)
         inode = self.fs.inode(ino)
-        optimal, countable = optimal_pairs(inode.data_block_list())
+        block_list = inode.data_block_list()
+        optimal, countable = optimal_pairs(block_list)
+        self.pair_scan_blocks += len(block_list)
         self._pairs[ino] = (optimal, countable)
         self._optimal_total += optimal
         self._countable_total += countable
@@ -334,17 +534,68 @@ class AgingReplayer:
         self._optimal_total -= optimal
         self._countable_total -= countable
 
+    def _append_tracked(self, ino: int, nbytes: int, when: float) -> None:
+        """Append to ``ino`` and delta-update its pair counts.
+
+        On a clean inode the flushed frontier equals the block-list
+        length, so the realloc policy can only relocate blocks at or
+        beyond the pre-append last full block — every pair below that
+        position is frozen and the delta is computed from the short
+        changed suffix alone, keeping pair accounting linear in blocks
+        *written* instead of quadratic in file growth.  An ENOSPC
+        partial growth leaves the frontier behind the block list (a
+        later window may relocate earlier blocks), so the inode goes in
+        the dirty set and its next update rescans in full.
+        """
+        inode = self.fs.inode(ino)
+        dirty = ino in self._dirty_inos
+        old_blocks = inode.blocks
+        old_nb = len(old_blocks)
+        old_last = old_blocks[-1] if old_nb else -1
+        old_tail = inode.tail
+        try:
+            self.fs.append(ino, nbytes, when=when)
+        except OutOfSpaceError:
+            self._dirty_inos.add(ino)
+            self._track_pairs(ino)  # partial growth still counts
+            raise
+        if dirty:
+            self._dirty_inos.discard(ino)
+            self._track_pairs(ino)
+            return
+        # Old pairs at or beyond the cut position: at most the one pair
+        # between the last full block and the fragment tail.
+        cut = old_nb - 1 if old_nb else 0
+        old_opt = old_cnt = 0
+        if old_nb and old_tail is not None:
+            old_cnt = 1
+            if old_tail[0] == old_last + 1:
+                old_opt = 1
+        suffix = inode.blocks[cut:]
+        if inode.tail is not None:
+            suffix.append(inode.tail[0])
+        new_opt, new_cnt = optimal_pairs(suffix)
+        self.pair_scan_blocks += len(suffix)
+        prev_opt, prev_cnt = self._pairs.get(ino, (0, 0))
+        self._pairs[ino] = (
+            prev_opt - old_opt + new_opt,
+            prev_cnt - old_cnt + new_cnt,
+        )
+        self._optimal_total += new_opt - old_opt
+        self._countable_total += new_cnt - old_cnt
+
 
 def age_file_system(
     workload: Workload,
-    params=None,
+    params: Optional[FSParams] = None,
     policy: str = "ffs",
     label: Optional[str] = None,
     faults: "Optional[FaultInjector]" = None,
+    engine: str = "columnar",
 ) -> ReplayResult:
     """Convenience: build a fresh file system and age it with ``workload``."""
     fs = FileSystem(params=params, policy=policy)
     replayer = AgingReplayer(
         fs, label=label if label is not None else policy, faults=faults
     )
-    return replayer.replay(workload)
+    return replayer.replay(workload, engine=engine)

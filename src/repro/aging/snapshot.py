@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.aging.workload import APPEND, CREATE, DELETE, Workload, WorkloadRecord
 from repro.errors import SimulationError
 from repro.ffs.params import FSParams
+from repro import rng as rng_module
 from repro.rng import SeededStreams
 from repro.units import KB
 
@@ -131,7 +132,7 @@ class SourceActivityModel:
         seed: int = 0,
         levels: Optional[ActivityLevels] = None,
         dirs_per_cg: int = 3,
-    ):
+    ) -> None:
         if days < 1:
             raise SimulationError("need at least one day of activity")
         self.params = params
@@ -304,7 +305,7 @@ class SourceActivityModel:
         files = {rec.ino: rec for rec in self._live.values()}
         return Snapshot(day=day, files=files)
 
-    def _pick_victim_run(self, rng, day: int, length: int) -> List[int]:
+    def _pick_victim_run(self, rng: rng_module.Random, day: int, length: int) -> List[int]:
         """A run of up to ``length`` consecutively created eligible files
         from one directory (weighted toward busy directories)."""
         for _attempt in range(8):
@@ -320,7 +321,7 @@ class SourceActivityModel:
             return eligible[start : start + max(1, length)]
         return []
 
-    def _cleanup_directory(self, rng, day: int) -> List[WorkloadRecord]:
+    def _cleanup_directory(self, rng: rng_module.Random, day: int) -> List[WorkloadRecord]:
         """Purge most of one directory — a user removing a build tree."""
         ops: List[WorkloadRecord] = []
         directory = self._pick_directory(rng)
@@ -477,13 +478,13 @@ class SourceActivityModel:
             frags += indirects * params.frags_per_block
         return frags
 
-    def _op_time(self, rng, directory: str) -> float:
+    def _op_time(self, rng: rng_module.Random, directory: str) -> float:
         """Fraction-of-day time for an op, clustered at the dir's peak."""
         peak = self._dir_peak[directory]
         t = rng.gauss(peak, 0.08)
         return min(0.9999, max(0.0001, t))
 
-    def _pick_directory_for_space(self, rng, nfrags: int) -> str:
+    def _pick_directory_for_space(self, rng: rng_module.Random, nfrags: int) -> str:
         """Weighted directory pick that respects per-group capacity.
 
         Hot groups fill to ``per_cg_cap`` and further growth spills to
@@ -505,7 +506,7 @@ class SourceActivityModel:
         )
         return f"dir{coolest:03d}_0"
 
-    def _pick_directory(self, rng) -> str:
+    def _pick_directory(self, rng: rng_module.Random) -> str:
         if self._dir_cum_weights is None:
             from itertools import accumulate
 
@@ -514,26 +515,26 @@ class SourceActivityModel:
             )
         return rng.choices(self._dirs, cum_weights=self._dir_cum_weights, k=1)[0]
 
-    def _longlived_size(self, rng) -> int:
+    def _longlived_size(self, rng: rng_module.Random) -> int:
         return self._lognormal(
             rng, self.levels.longlived_median, self.levels.longlived_sigma
         )
 
-    def _shortlived_size(self, rng) -> int:
+    def _shortlived_size(self, rng: rng_module.Random) -> int:
         return self._lognormal(
             rng, self.levels.shortlived_median, self.levels.shortlived_sigma
         )
 
-    def _perturb_size(self, rng, size: int) -> int:
+    def _perturb_size(self, rng: rng_module.Random, size: int) -> int:
         """New size after a modify: usually similar, sometimes larger."""
         factor = math.exp(rng.gauss(0.05, 0.35))
         return max(1, min(self.levels.max_file_size, int(size * factor)))
 
-    def _lognormal(self, rng, median: float, sigma: float) -> int:
+    def _lognormal(self, rng: rng_module.Random, median: float, sigma: float) -> int:
         size = int(median * math.exp(rng.gauss(0.0, sigma)))
         return max(256, min(self.levels.max_file_size, size))
 
-    def _poisson(self, rng, lam: float) -> int:
+    def _poisson(self, rng: rng_module.Random, lam: float) -> int:
         """Poisson sample via inversion (lam is modest in this model)."""
         if lam <= 0:
             return 0

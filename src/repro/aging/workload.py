@@ -13,14 +13,25 @@ downloadable workload file.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, TextIO
+from operator import attrgetter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO, Tuple
 
 from repro.errors import WorkloadError
 
 CREATE = "create"
 APPEND = "append"
 DELETE = "delete"
+
+#: Byte codes of the columnar op column, in ``_OP_RANK`` order.
+OP_CODES = {CREATE: 0, APPEND: 1, DELETE: 2}
+
+#: Op names indexed by byte code (the inverse of ``OP_CODES``).
+_OP_NAMES = (CREATE, APPEND, DELETE)
+
+#: Primary sort key of a workload; ties fall back to op rank.
+_TIME_FILE_KEY = attrgetter("time", "file_id")
 
 
 @dataclass(frozen=True)
@@ -85,18 +96,148 @@ class WorkloadRecord:
         )
 
 
+@dataclass(frozen=True)
+class WorkloadColumns:
+    """Structure-of-arrays view of a workload.
+
+    Parallel columns hold one op per index — a byte code (``OP_CODES``),
+    the fractional-day time, the file id, the byte count, and the source
+    inode — so the replay hot loop indexes flat arrays instead of
+    touching a ``WorkloadRecord`` object per op.  ``day_slices`` is the
+    precomputed day index: entry ``d`` is the half-open record range
+    whose ``int(time)`` equals ``d``, so the day loop iterates contiguous
+    slices instead of testing the day of every record.
+    """
+
+    op: bytes
+    time: "array[float]"
+    file_id: "array[int]"
+    size: "array[int]"
+    src_ino: "array[int]"
+    #: Dictionary-encoded source directory: ``dir_table[dir_id[i]]`` is
+    #: record ``i``'s directory.  Keeps the columns lossless (so records
+    #: can be rebuilt exactly) without a per-record string.
+    dir_id: "array[int]"
+    dir_table: Tuple[str, ...]
+    day_slices: Tuple[Tuple[int, int], ...]
+
+    @classmethod
+    def from_records(cls, records: Sequence[WorkloadRecord]) -> "WorkloadColumns":
+        """Build the columns from time-ordered records."""
+        n = len(records)
+        slices: List[Tuple[int, int]] = []
+        start = 0
+        current = 0
+        times = array("d", (r.time for r in records))
+        for i in range(n):
+            day = int(times[i])
+            while current < day:
+                slices.append((start, i))
+                start = i
+                current += 1
+        if n:
+            slices.append((start, n))
+        dir_index: Dict[str, int] = {}
+        dir_ids = array("l")
+        for r in records:
+            dir_ids.append(dir_index.setdefault(r.directory, len(dir_index)))
+        return cls(
+            op=bytes(OP_CODES[r.op] for r in records),
+            time=times,
+            file_id=array("q", (r.file_id for r in records)),
+            size=array("q", (r.size for r in records)),
+            src_ino=array("q", (r.src_ino for r in records)),
+            dir_id=dir_ids,
+            dir_table=tuple(dir_index),
+            day_slices=tuple(slices),
+        )
+
+    def to_records(self) -> List[WorkloadRecord]:
+        """Rebuild the exact record list the columns were built from."""
+        ops = _OP_NAMES
+        dirs = self.dir_table
+        return [
+            WorkloadRecord(
+                time=t, op=ops[o], file_id=f, size=s, src_ino=i,
+                directory=dirs[d],
+            )
+            for o, t, f, s, i, d in zip(
+                self.op, self.time, self.file_id, self.size,
+                self.src_ino, self.dir_id,
+            )
+        ]
+
+
 class Workload:
     """An ordered aging workload with integrity checks."""
 
     _OP_RANK = {CREATE: 0, APPEND: 1, DELETE: 2}
 
     def __init__(self, records: Iterable[WorkloadRecord] = ()):
-        self.records: List[WorkloadRecord] = sorted(
-            records, key=lambda r: (r.time, r.file_id, Workload._OP_RANK[r.op])
-        )
+        # Sort on the cheap C-level key first; the op rank only matters
+        # for records tying on (time, file_id), which real workloads
+        # essentially never produce.  A single verification pass promotes
+        # to the full key iff a tie is actually ordered wrong (sorting
+        # the already-sorted list is near-linear).
+        rank = Workload._OP_RANK
+        out = sorted(records, key=_TIME_FILE_KEY)
+        prev = None
+        for rec in out:
+            if (
+                prev is not None
+                and prev.time == rec.time
+                and prev.file_id == rec.file_id
+                and rank[prev.op] > rank[rec.op]
+            ):
+                out.sort(key=lambda r: (r.time, r.file_id, rank[r.op]))
+                break
+            prev = rec
+        self._records: Optional[List[WorkloadRecord]] = out
+        self._columns: Optional[WorkloadColumns] = None
+
+    @property
+    def records(self) -> List[WorkloadRecord]:
+        """The time-ordered record list (rebuilt from columns if lazy).
+
+        A workload that crossed a process boundary arrives as columns
+        only; the record objects are materialized on first access, which
+        the columnar replay path never needs.
+        """
+        if self._records is None:
+            columns = self._columns
+            if columns is None:
+                raise WorkloadError(
+                    "workload carries neither records nor columns"
+                )
+            self._records = columns.to_records()
+        return self._records
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Ship the compact columnar arrays, not 10^5 record objects —
+        # parallel workers receive workloads pickled, and the columnar
+        # replay path never touches the records.
+        return {"columns": self.columns()}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._columns = state["columns"]  # type: ignore[assignment]
+        self._records = None
+
+    def columns(self) -> WorkloadColumns:
+        """The columnar view of this workload (built once, memoized).
+
+        Generators and trace loaders call this right after building a
+        workload so replays — including ones in worker processes that
+        receive the workload pickled — never pay the conversion in the
+        timed path.
+        """
+        if self._columns is None:
+            self._columns = WorkloadColumns.from_records(self.records)
+        return self._columns
 
     def __len__(self) -> int:
-        return len(self.records)
+        if self._records is not None:
+            return len(self._records)
+        return len(self.columns().op)
 
     def __iter__(self) -> Iterator[WorkloadRecord]:
         return iter(self.records)
@@ -158,4 +299,6 @@ class Workload:
             for line in fp
             if line.strip() and not line.startswith("#")
         ]
-        return cls(records)
+        workload = cls(records)
+        workload.columns()  # materialize outside the replay hot path
+        return workload

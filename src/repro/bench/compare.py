@@ -99,14 +99,28 @@ def compare_reports(
         )
         experiments = []
         base_exps = dict(base.get("experiments", {}))  # type: ignore[arg-type]
+        base_ops = dict(base.get("ops_per_sec", {}))  # type: ignore[arg-type]
+        cur_ops = dict(cur.get("ops_per_sec", {}))  # type: ignore[arg-type]
         for exp, cur_wall in dict(cur.get("experiments", {})).items():  # type: ignore[arg-type]
             if exp in base_exps:
-                experiments.append({
+                entry: Dict[str, object] = {
                     "name": exp,
                     "baseline_s": float(base_exps[exp]),
                     "current_s": float(cur_wall),
                     "delta_s": round(float(cur_wall) - float(base_exps[exp]), 4),
-                })
+                }
+                # Replay throughput, where both reports recorded it
+                # (older baselines predate the ops_per_sec field).
+                b_rate = base_ops.get(exp)
+                c_rate = cur_ops.get(exp)
+                if b_rate is not None or c_rate is not None:
+                    entry["baseline_ops_per_sec"] = b_rate
+                    entry["current_ops_per_sec"] = c_rate
+                    if b_rate and c_rate:
+                        entry["ops_ratio"] = round(
+                            float(c_rate) / float(b_rate), 2
+                        )
+                experiments.append(entry)
         experiments.sort(key=lambda e: (-e["delta_s"], e["name"]))  # type: ignore[operator, index]
         rows.append({
             "name": name,
@@ -168,6 +182,20 @@ def render_comparison(comparison: Dict[str, object], movers: int = 3) -> str:
             lines.append(
                 f"      {exp['name']:<14} {exp['baseline_s']:>7.2f}s -> "
                 f"{exp['current_s']:>7.2f}s  (+{exp['delta_s']:.2f}s)"
+            )
+        shifts = sorted(
+            (
+                e for e in row.get("experiments", [])
+                if e.get("ops_ratio") and abs(e["ops_ratio"] - 1.0) >= 0.1
+            ),
+            key=lambda e: -abs(e["ops_ratio"] - 1.0),
+        )
+        for exp in shifts[:movers]:
+            lines.append(
+                f"      {exp['name']:<14} replay "
+                f"{exp['baseline_ops_per_sec']:>9.0f} -> "
+                f"{exp['current_ops_per_sec']:>9.0f} ops/s "
+                f"(x{exp['ops_ratio']:.2f})"
             )
     if comparison["regressions"]:
         lines.append(

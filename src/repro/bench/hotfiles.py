@@ -56,7 +56,7 @@ class HotFileBenchmark:
         window_days: float = 30.0,
         runner: Optional[BenchmarkRunner] = None,
         geometry: Optional[DiskGeometry] = None,
-    ):
+    ) -> None:
         self.fs = fs
         self.window_days = window_days
         self.runner = runner if runner is not None else BenchmarkRunner()

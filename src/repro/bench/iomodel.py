@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Set
 
 from repro.disk.model import DiskModel, IOKind
-from repro.disk.request import extents_of_blocks
+from repro.disk.request import Extent, extents_of_blocks
 from repro.ffs.filesystem import FileSystem
 from repro.ffs.inode import Inode
 
@@ -28,7 +28,7 @@ from repro.ffs.inode import Inode
 class FileIOPricer:
     """Prices reads/writes/creates of simulated files on one disk model."""
 
-    def __init__(self, fs: FileSystem, disk: DiskModel):
+    def __init__(self, fs: FileSystem, disk: DiskModel) -> None:
         self.fs = fs
         self.disk = disk
         self.params = fs.params
@@ -47,13 +47,20 @@ class FileIOPricer:
     # Data transfers
     # ------------------------------------------------------------------
 
-    def read_file_data(self, inode: Inode) -> float:
-        """Read all data blocks of ``inode``; returns elapsed ms."""
-        extents = extents_of_blocks(
+    def file_extents(self, inode: Inode) -> List[Extent]:
+        """The extent list a data transfer of ``inode`` would issue.
+
+        Exposed so benchmark harnesses can resolve extents once and
+        replay them across repetitions without re-walking the inode.
+        """
+        return extents_of_blocks(
             inode.data_block_list(), self.params.block_size, self._capacity(inode)
         )
+
+    def read_file_data(self, inode: Inode) -> float:
+        """Read all data blocks of ``inode``; returns elapsed ms."""
         return self.disk.transfer_extents(
-            IOKind.READ, extents, self.params.block_size
+            IOKind.READ, self.file_extents(inode), self.params.block_size
         )
 
     def read_file_data_unclustered(
@@ -82,11 +89,8 @@ class FileIOPricer:
 
     def write_file_data(self, inode: Inode) -> float:
         """Write all data blocks of ``inode``; returns elapsed ms."""
-        extents = extents_of_blocks(
-            inode.data_block_list(), self.params.block_size, self._capacity(inode)
-        )
         return self.disk.transfer_extents(
-            IOKind.WRITE, extents, self.params.block_size
+            IOKind.WRITE, self.file_extents(inode), self.params.block_size
         )
 
     # ------------------------------------------------------------------

@@ -34,21 +34,38 @@ SCHEMA = "repro.bench/v1"
 
 
 def _one_pass(name: str, preset: str, jobs: int) -> Dict[str, object]:
-    """Run ``experiment all`` once; returns the pass record."""
+    """Run ``experiment all`` once; returns the pass record.
+
+    Besides wall seconds the record carries ``ops_per_sec`` — aging
+    workload operations replayed per second, per experiment — sampled
+    from the replay engine's process-wide op counter.  Cache-served
+    (warm) experiments replay nothing and record 0.0; parallel passes
+    replay in workers, so their parent-side counter also stays flat.
+    """
+    from repro.aging.replay import ops_replayed
     from repro.experiments import config
     from repro.experiments.runner import iter_all_rendered
 
     config.clear_caches()
     walls: Dict[str, float] = {}
+    ops_rate: Dict[str, float] = {}
+    ops_before = ops_replayed()
     start = time.perf_counter()
     for exp_name, _text, wall in iter_all_rendered(preset, jobs=jobs):
+        ops_now = ops_replayed()
+        replayed = ops_now - ops_before
+        ops_before = ops_now
         walls[exp_name] = round(wall, 4)
+        ops_rate[exp_name] = (
+            round(replayed / wall, 1) if wall > 0 and replayed else 0.0
+        )
     total = time.perf_counter() - start
     print(f"[bench] {name}: {total:.1f}s", file=sys.stderr, flush=True)
     return {
         "name": name,
         "jobs": jobs,
         "experiments": walls,
+        "ops_per_sec": ops_rate,
         "total_s": round(total, 4),
     }
 

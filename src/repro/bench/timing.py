@@ -46,7 +46,7 @@ class BenchmarkRunner:
     rotation) and must return throughput in bytes/second.
     """
 
-    def __init__(self, repetitions: int = 10):
+    def __init__(self, repetitions: int = 10) -> None:
         if repetitions < 1:
             raise ValueError("need at least one repetition")
         self.repetitions = repetitions

@@ -13,6 +13,7 @@ and an 11 ms average seek.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.units import KB, SECTOR_SIZE
 
@@ -47,37 +48,42 @@ class DiskGeometry:
 
     # Derived quantities -------------------------------------------------
 
-    @property
+    @cached_property
     def rotation_ms(self) -> float:
         """Time of one full platter rotation in milliseconds."""
         return 60_000.0 / self.rpm
 
-    @property
+    @cached_property
     def track_bytes(self) -> int:
         """Capacity of one track in bytes."""
         return self.sectors_per_track * self.sector_size
 
-    @property
+    @cached_property
     def cylinder_bytes(self) -> int:
         """Capacity of one cylinder (all surfaces) in bytes."""
         return self.track_bytes * self.heads
 
-    @property
+    @cached_property
     def capacity_bytes(self) -> int:
         """Total formatted capacity in bytes."""
         return self.cylinder_bytes * self.cylinders
 
-    @property
+    @cached_property
     def media_rate_bytes_per_ms(self) -> float:
         """Sustained media transfer rate under the head, bytes/ms."""
         return self.track_bytes / self.rotation_ms
 
-    @property
+    @cached_property
     def full_stroke_seek_ms(self) -> float:
         """Approximate full-stroke seek derived from the average seek."""
         # Average seek is roughly the time to cover 1/3 of the stroke;
         # full stroke lands near 2x the average for drives of this era.
         return 2.0 * self.seek_avg_ms
+
+    @cached_property
+    def sectors_per_cylinder(self) -> int:
+        """Sectors on one cylinder (all surfaces)."""
+        return self.sectors_per_track * self.heads
 
     # Address mapping ----------------------------------------------------
 
@@ -87,7 +93,7 @@ class DiskGeometry:
 
     def cylinder_of_sector(self, sector: int) -> int:
         """Cylinder number of a linear sector address."""
-        return sector // (self.sectors_per_track * self.heads)
+        return sector // self.sectors_per_cylinder
 
     def track_of_sector(self, sector: int) -> int:
         """Global track number (cylinder*heads + head) of a sector."""

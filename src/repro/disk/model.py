@@ -300,6 +300,20 @@ class DiskStats:
         m = registry if registry is not None else MetricsRegistry()
         self._m = m
         self._counters = {name: m.counter(f"disk.{name}") for name in self.FIELDS}
+        # Hot-path handles: the per-request accounting below runs once
+        # per disk access, so the counter objects are bound once here
+        # instead of a dict lookup per bump.
+        c = self._counters
+        self._c_reads = c["reads"]
+        self._c_writes = c["writes"]
+        self._c_bytes_read = c["bytes_read"]
+        self._c_bytes_written = c["bytes_written"]
+        self._c_busy_ms = c["busy_ms"]
+        self._c_seeks = c["seeks"]
+        self._c_seek_ms = c["seek_ms"]
+        self._c_rotation_ms = c["rotation_ms"]
+        self._c_lost = c["lost_rotations"]
+        self._c_buf_hits = c["buffer_hits"]
         g = obs.metrics_or_none()
         self._g = g
         if g is not None:
@@ -326,14 +340,13 @@ class DiskStats:
 
     def record(self, kind: IOKind, nbytes: int, elapsed_ms: float) -> None:
         """Account one completed request."""
-        c = self._counters
         if kind is IOKind.READ:
-            c["reads"].inc()
-            c["bytes_read"].inc(nbytes)
+            self._c_reads.value += 1
+            self._c_bytes_read.value += nbytes
         else:
-            c["writes"].inc()
-            c["bytes_written"].inc(nbytes)
-        c["busy_ms"].inc(elapsed_ms)
+            self._c_writes.value += 1
+            self._c_bytes_written.value += nbytes
+        self._c_busy_ms.value += elapsed_ms
         if self._g is not None:
             gc = self._g_counters
             if kind is IOKind.READ:
@@ -348,8 +361,8 @@ class DiskStats:
     def note_seek(self, seek_ms: float, distance: int = 0) -> None:
         """Account one non-zero seek of ``seek_ms`` milliseconds over
         ``distance`` cylinders (0 when the caller did not measure it)."""
-        self._counters["seeks"].inc()
-        self._counters["seek_ms"].inc(seek_ms)
+        self._c_seeks.value += 1
+        self._c_seek_ms.value += seek_ms
         if self._g is not None:
             self._g_counters["seeks"].inc()
             self._g_counters["seek_ms"].inc(seek_ms)
@@ -359,9 +372,9 @@ class DiskStats:
 
     def note_rotation(self, wait_ms: float, lost: bool) -> None:
         """Account one rotational wait (``lost`` = nearly a full turn)."""
-        self._counters["rotation_ms"].inc(wait_ms)
+        self._c_rotation_ms.value += wait_ms
         if lost:
-            self._counters["lost_rotations"].inc()
+            self._c_lost.value += 1
         if self._g is not None:
             self._g_counters["rotation_ms"].inc(wait_ms)
             if lost:
@@ -370,7 +383,7 @@ class DiskStats:
 
     def note_buffer_hit(self) -> None:
         """Account one track-buffer read hit."""
-        self._counters["buffer_hits"].inc()
+        self._c_buf_hits.value += 1
         if self._g is not None:
             self._g_counters["buffer_hits"].inc()
 

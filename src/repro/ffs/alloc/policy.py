@@ -56,6 +56,18 @@ class AllocPolicy:
         across groups only when that group is completely full.
         """
 
+        if self._m is None and self._e is None:
+            # Telemetry-off fast path: attempt the home group inline
+            # (no closure built, no rehash order) — it succeeds on the
+            # overwhelming majority of allocations.
+            cg = self.sb.cgs[inode.alloc_cg]
+            try:
+                return cg.alloc_block(
+                    pref if pref is not None and cg.owns_block(pref) else None
+                )
+            except OutOfSpaceError:
+                pass
+
         def attempt(cg: CylinderGroup) -> Optional[int]:
             try:
                 local_pref = pref if pref is not None and cg.owns_block(pref) else None
@@ -91,6 +103,31 @@ class AllocPolicy:
                 )
         return block
 
+    def alloc_data_run(self, inode: Inode, pref: int, want: int) -> int:
+        """Allocate up to ``want`` blocks at exactly ``pref``, ``pref+1``, ...
+
+        The batched form of the ``alloc_data_block`` preference chain:
+        when the file's home group owns ``pref`` and has a free run
+        starting there, one cluster allocation replaces up to ``want``
+        per-block policy calls with identical resulting state — the same
+        blocks are taken in the same order and the group rotor ends at
+        the same place.  Returns the number of blocks taken; 0 tells the
+        caller to fall back to block-at-a-time allocation (which every
+        policy must still support).  Only active on the telemetry-off
+        fast path so per-block counters and events stay exact.
+        """
+        if self._m is not None or self._e is not None:
+            return 0
+        cg = self.sb.cgs[inode.alloc_cg]
+        if not cg.owns_block(pref):
+            return 0
+        run = cg.runmap.free_run_length_at(pref - cg.base)
+        if run == 0:
+            return 0
+        take = min(run, want)
+        cg.alloc_cluster(pref, take)
+        return take
+
     def alloc_indirect_block(self, inode: Inode) -> int:
         """Allocate an indirect block, switching the file's group first.
 
@@ -119,6 +156,17 @@ class AllocPolicy:
         self, inode: Inode, nfrags: int, pref: Optional[Tuple[int, int]]
     ) -> Tuple[int, int]:
         """Allocate a file tail of ``nfrags`` fragments."""
+        if self._m is None:
+            # Same home-group fast path as data blocks: tails almost
+            # always land in the file's current allocation group.
+            cg = self.sb.cgs[inode.alloc_cg]
+            try:
+                return cg.alloc_frags(
+                    nfrags,
+                    pref if pref is not None and cg.owns_block(pref[0]) else None,
+                )
+            except OutOfSpaceError:
+                pass
 
         def attempt(cg: CylinderGroup) -> Optional[Tuple[int, int]]:
             try:

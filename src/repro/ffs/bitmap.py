@@ -9,8 +9,9 @@ derived indexes the allocator needs constantly —
   block* iff all of its fragments are free),
 * a fragment-run index equivalent to the kernel's ``cg_frsum``: for each
   run length 1..7, which partially-allocated blocks currently contain a
-  maximal free run of that length.  This is what makes the kernel's
-  best-fit fragment allocation O(1).
+  maximal free run of that length.  The index is maintained lazily (the
+  allocator's hot path finds runs with :meth:`find_run_any_block`, a raw
+  ``bytearray.find`` scan) and flushed when a summary query needs it.
 
 All addresses here are *local* to the cylinder group; the
 :class:`~repro.ffs.cg.CylinderGroup` wrapper translates to and from global
@@ -20,7 +21,7 @@ block numbers.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 
 class FragBitmap:
@@ -37,11 +38,31 @@ class FragBitmap:
         self._bits = bytearray(nblocks * frags_per_block)
         self._free_in_block = array("B", [frags_per_block] * nblocks)
         self.free_frags = nblocks * frags_per_block
-        # frag-run index: run length -> {block: None}; insertion-ordered
-        # dicts keep the allocator deterministic.
+        # frag-run index: run length -> {block: None}.  Maintained lazily:
+        # mutations only record the touched block in ``_dirty`` and the
+        # per-block re-derivation happens when a query needs the index
+        # (the allocator's hot path scans the raw bitmap instead).
         self._runs: Dict[int, Dict[int, None]] = {
             length: {} for length in range(1, frags_per_block)
         }
+        self._dirty: Set[int] = set()
+
+    def clone(self) -> "FragBitmap":
+        """An independent copy, built by bulk-copying each column.
+
+        Orders of magnitude faster than ``copy.deepcopy`` walking the
+        structure element by element; the experiments clone an aged
+        file system once per benchmark repetition.
+        """
+        twin = FragBitmap.__new__(FragBitmap)
+        twin.nblocks = self.nblocks
+        twin.fpb = self.fpb
+        twin._bits = bytearray(self._bits)
+        twin._free_in_block = array("B", self._free_in_block)
+        twin.free_frags = self.free_frags
+        twin._runs = {length: dict(blocks) for length, blocks in self._runs.items()}
+        twin._dirty = set(self._dirty)
+        return twin
 
     # ------------------------------------------------------------------
     # Predicates
@@ -86,7 +107,7 @@ class FragBitmap:
         self._bits[base : base + nfrags] = b"\x01" * nfrags
         self._free_in_block[block] -= nfrags
         self.free_frags -= nfrags
-        self._reindex(block)
+        self._dirty.add(block)
 
     def alloc_block_range(self, block: int, nblocks: int) -> None:
         """Mark ``nblocks`` whole blocks starting at ``block`` allocated.
@@ -111,9 +132,8 @@ class FragBitmap:
         self._bits[base:end] = b"\x01" * (end - base)
         for b in range(block, block + nblocks):
             self._free_in_block[b] = 0
-            for bucket in self._runs.values():
-                bucket.pop(b, None)
         self.free_frags -= end - base
+        self._dirty.update(range(block, block + nblocks))
 
     def free_run(self, block: int, offset: int, nfrags: int) -> None:
         """Mark ``nfrags`` fragments starting at (block, offset) free."""
@@ -127,7 +147,36 @@ class FragBitmap:
         self._bits[base : base + nfrags] = b"\x00" * nfrags
         self._free_in_block[block] += nfrags
         self.free_frags += nfrags
-        self._reindex(block)
+        self._dirty.add(block)
+
+    def free_block_range(self, block: int, nblocks: int) -> None:
+        """Mark ``nblocks`` whole blocks starting at ``block`` free.
+
+        The batched form of ``free_run(b, 0, fpb)`` over a contiguous
+        run — one slice write instead of per-block scan-and-set.  Every
+        fragment in the range must currently be allocated.
+        """
+        if nblocks < 1 or block < 0 or block + nblocks > self.nblocks:
+            raise ValueError(
+                f"block range ({block}, {nblocks}) out of range 0..{self.nblocks - 1}"
+            )
+        base = block * self.fpb
+        end = (block + nblocks) * self.fpb
+        freed = self._bits.find(0, base, end)
+        if freed != -1:
+            raise ValueError(
+                f"double free: block {freed // self.fpb} frag {freed % self.fpb}"
+            )
+        self._bits[base:end] = b"\x00" * (end - base)
+        for b in range(block, block + nblocks):
+            self._free_in_block[b] = self.fpb
+        self.free_frags += end - base
+        self._dirty.update(range(block, block + nblocks))
+
+    def find_free_frag_in_blocks(self, block: int, nblocks: int) -> int:
+        """Bitmap index of the first free fragment in the block range, -1
+        if every fragment of the range is allocated (one ``find`` call)."""
+        return self._bits.find(0, block * self.fpb, (block + nblocks) * self.fpb)
 
     # ------------------------------------------------------------------
     # Fragment-run queries (the cg_frsum equivalent)
@@ -162,6 +211,32 @@ class FragBitmap:
         base = block * self.fpb + offset
         return self._bits.find(1, base, base + nfrags) == -1
 
+    def find_run_any_block(
+        self, start_block: int, nfrags: int
+    ) -> Optional[Tuple[int, int]]:
+        """Nearest (block, offset) holding a free run of >= ``nfrags``.
+
+        Scans forward (cyclically) from ``start_block`` and returns the
+        first block — wholly free or partially allocated — that contains
+        an adequate free run, with the offset of that block's first such
+        run; None when no block qualifies.  This is the allocator's
+        fragment search reduced to ``bytearray.find`` with a needle of
+        ``nfrags`` zero bytes: a match can only start inside a block if
+        that block has an adequate in-block run (shorter runs cannot
+        contain the needle), and the leftmost match straddling a block
+        boundary proves the block it starts in has no adequate run, so
+        the scan resumes at the boundary.
+        """
+        if not 1 <= nfrags < self.fpb:
+            raise ValueError(f"fragment allocations are 1..{self.fpb - 1} frags")
+        if not 0 <= start_block < self.nblocks:
+            raise ValueError(f"block {start_block} out of range 0..{self.nblocks - 1}")
+        needle = b"\x00" * nfrags
+        hit = self._scan_for_run(needle, start_block * self.fpb, len(self._bits))
+        if hit is None and start_block > 0:
+            hit = self._scan_for_run(needle, 0, start_block * self.fpb)
+        return hit
+
     def partial_blocks_with_run(self, nfrags: int) -> List[int]:
         """Partially-allocated blocks containing a free run >= ``nfrags``.
 
@@ -173,6 +248,7 @@ class FragBitmap:
         """
         if not 1 <= nfrags < self.fpb:
             raise ValueError(f"fragment allocations are 1..{self.fpb - 1} frags")
+        self._flush_runs()
         found: Dict[int, None] = {}
         for length in range(nfrags, self.fpb):
             for block in self._runs[length]:
@@ -181,21 +257,61 @@ class FragBitmap:
 
     def frsum(self) -> Dict[int, int]:
         """Counts of partial blocks indexed under each run length."""
+        self._flush_runs()
         return {length: len(bucket) for length, bucket in self._runs.items()}
+
+    def run_index(self) -> Dict[int, Dict[int, None]]:
+        """The frag-run index (flushed), keyed by run length.
+
+        Consistency checks read this instead of poking the internals so
+        they always see the post-flush state.
+        """
+        self._flush_runs()
+        return self._runs
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _reindex(self, block: int) -> None:
-        """Refresh the frag-run index entries for one block."""
-        for bucket in self._runs.values():
-            bucket.pop(block, None)
-        free = self._free_in_block[block]
-        if free == 0 or free == self.fpb:
-            return  # full or wholly free blocks are not fragment donors
-        for _offset, length in self.frag_runs(block):
-            self._runs[length][block] = None
+    def _scan_for_run(
+        self, needle: bytes, pos: int, end: int
+    ) -> Optional[Tuple[int, int]]:
+        """Leftmost in-block match of ``needle`` within [pos, end).
+
+        ``pos`` must be block-aligned so every in-block offset of each
+        candidate block is examined.
+        """
+        fpb = self.fpb
+        bits = self._bits
+        nfrags = len(needle)
+        while pos < end:
+            i = bits.find(needle, pos, end)
+            if i == -1:
+                return None
+            offset = i % fpb
+            if offset + nfrags <= fpb:
+                return (i // fpb, offset)
+            pos = (i // fpb + 1) * fpb
+        return None
+
+    def _flush_runs(self) -> None:
+        """Re-derive index entries for blocks dirtied since the last query.
+
+        Sorted order keeps bucket insertion order — and therefore the
+        order of :meth:`partial_blocks_with_run` — deterministic.
+        """
+        if not self._dirty:
+            return
+        runs = self._runs
+        for block in sorted(self._dirty):
+            for bucket in runs.values():
+                bucket.pop(block, None)
+            free = self._free_in_block[block]
+            if free == 0 or free == self.fpb:
+                continue  # full or wholly free blocks are not fragment donors
+            for _offset, length in self.frag_runs(block):
+                runs[length][block] = None
+        self._dirty.clear()
 
     def _check(self, block: int, offset: int, nfrags: int) -> None:
         if not 0 <= block < self.nblocks:

@@ -64,6 +64,21 @@ class CylinderGroup:
         """Whether global ``block`` falls inside this group."""
         return self.base <= block < self.base + self.nblocks
 
+    def clone(self) -> "CylinderGroup":
+        """An independent copy; shares only the immutable ``params``."""
+        twin = CylinderGroup.__new__(CylinderGroup)
+        twin.params = self.params
+        twin.index = self.index
+        twin.base = self.base
+        twin.nblocks = self.nblocks
+        twin.bitmap = self.bitmap.clone()
+        twin.runmap = self.runmap.clone()
+        twin._inode_used = bytearray(self._inode_used)
+        twin.nifree = self.nifree
+        twin.ndirs = self.ndirs
+        twin.rotor = self.rotor
+        return twin
+
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
@@ -124,6 +139,27 @@ class CylinderGroup:
             )
         self.bitmap.free_run(local, 0, self.params.frags_per_block)
         self.runmap.free(local)
+
+    def free_block_range(self, start: int, nblocks: int) -> None:
+        """Free ``nblocks`` wholly-allocated consecutive blocks at ``start``.
+
+        The batched form of :meth:`free_block` for a file's contiguous
+        runs: one slice write in the bitmap and one interval merge in the
+        run map instead of ``nblocks`` independent frees.
+        """
+        local = self._local(start)
+        if nblocks < 1 or local + nblocks > self.nblocks:
+            raise ValueError(
+                f"block range ({start}, {nblocks}) crosses the group boundary"
+            )
+        free_at = self.bitmap.find_free_frag_in_blocks(local, nblocks)
+        if free_at != -1:
+            raise ConsistencyError(
+                f"freeing block {self.base + free_at // self.params.frags_per_block} "
+                f"that is not fully allocated"
+            )
+        self.bitmap.free_block_range(local, nblocks)
+        self.runmap.free_range(local, nblocks)
 
     # ------------------------------------------------------------------
     # Cluster allocation (used by the realloc policy)
@@ -206,32 +242,14 @@ class CylinderGroup:
         else:
             start = self.rotor % self.nblocks
 
-        best_block: Optional[int] = None
-        best_dist = self.nblocks + 1
-        for candidate in self.bitmap.partial_blocks_with_run(nfrags):
-            dist = (candidate - start) % self.nblocks
-            if dist < best_dist:
-                best_block, best_dist = candidate, dist
-        free_block = self.runmap.find_free_block(start)
-        if free_block is not None:
-            dist = (free_block - start) % self.nblocks
-            if dist < best_dist:
-                best_block, best_dist = free_block, dist
-        if best_block is None:
+        hit = self.bitmap.find_run_any_block(start, nfrags)
+        if hit is None:
             raise OutOfSpaceError(
                 f"cylinder group {self.index} has no free run of "
                 f"{nfrags} fragments",
                 cg=self.index,
             )
-        offset = (
-            0
-            if self.bitmap.block_is_free(best_block)
-            else self.bitmap.find_run_in_block(best_block, nfrags)
-        )
-        if offset is None:
-            raise ConsistencyError(
-                f"frag-run index advertised block {best_block} with no run"
-            )
+        best_block, offset = hit
         self._take_frags(best_block, offset, nfrags)
         return (self.base + best_block, offset)
 

@@ -152,12 +152,11 @@ def _check_runs_sorted(cg: CylinderGroup) -> None:
 
 def _check_frag_index(cg: CylinderGroup) -> None:
     fpb = cg.params.frags_per_block
+    index = cg.bitmap.run_index()
     for local in range(cg.nblocks):
         free = cg.bitmap.free_in_block(local)
         runs = cg.bitmap.frag_runs(local)
-        indexed = {
-            length: local in cg.bitmap._runs[length] for length in range(1, fpb)
-        }
+        indexed = {length: local in index[length] for length in range(1, fpb)}
         if free in (0, fpb):
             if any(indexed.values()):
                 raise ConsistencyError(

@@ -38,6 +38,17 @@ class BlockRunMap:
         if initially_free:
             self._insert(0, nblocks)
 
+    def clone(self) -> "BlockRunMap":
+        """An independent copy via container copies (no per-run walk)."""
+        twin = BlockRunMap.__new__(BlockRunMap)
+        twin.nblocks = self.nblocks
+        twin._starts = list(self._starts)
+        twin._len_at = dict(self._len_at)
+        twin._len_count = dict(self._len_count)
+        twin._max_run = self._max_run
+        twin.free_blocks = self.free_blocks
+        return twin
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -150,17 +161,39 @@ class BlockRunMap:
     # ------------------------------------------------------------------
 
     def alloc(self, block: int) -> None:
-        """Remove ``block`` from the free map (it must be free)."""
-        start = self._run_containing(block)
-        if start is None:
+        """Remove ``block`` from the free map (it must be free).
+
+        Trimming the head or tail of a run — the common case for rotor
+        allocations — updates the interval in place instead of paying a
+        remove/insert cycle on the sorted start list.
+        """
+        idx = bisect_right(self._starts, block) - 1
+        if idx < 0:
             raise ValueError(f"block {block} is not free")
+        start = self._starts[idx]
         length = self._len_at[start]
-        self._remove(start)
-        if block > start:
-            self._insert(start, block - start)
-        tail = start + length - (block + 1)
-        if tail:
-            self._insert(block + 1, tail)
+        if block >= start + length or block >= self.nblocks or block < 0:
+            raise ValueError(f"block {block} is not free")
+        self.free_blocks -= 1
+        if length == 1:
+            del self._starts[idx]
+            del self._len_at[start]
+            self._count_swap(length)
+        elif block == start:
+            self._starts[idx] = start + 1
+            del self._len_at[start]
+            self._len_at[start + 1] = length - 1
+            self._count_swap(length, length - 1)
+        elif block == start + length - 1:
+            self._len_at[start] = length - 1
+            self._count_swap(length, length - 1)
+        else:
+            head = block - start
+            tail = start + length - (block + 1)
+            self._len_at[start] = head
+            self._starts.insert(idx + 1, block + 1)
+            self._len_at[block + 1] = tail
+            self._count_swap(length, head, tail)
 
     def alloc_range(self, start: int, length: int) -> None:
         """Remove ``length`` consecutive blocks starting at ``start``.
@@ -173,37 +206,110 @@ class BlockRunMap:
         """
         if length <= 0:
             return
-        run = self._run_containing(start)
-        if run is None:
+        idx = bisect_right(self._starts, start) - 1
+        if idx < 0:
             raise ValueError(f"block {start} is not free")
+        run = self._starts[idx]
         run_len = self._len_at[run]
+        if start >= run + run_len:
+            raise ValueError(f"block {start} is not free")
         if start + length > run + run_len:
             raise ValueError(f"block {run + run_len} is not free")
-        self._remove(run)
-        if start > run:
-            self._insert(run, start - run)
+        self.free_blocks -= length
         tail = run + run_len - (start + length)
-        if tail:
-            self._insert(start + length, tail)
+        if run == start and tail == 0:
+            del self._starts[idx]
+            del self._len_at[run]
+            self._count_swap(run_len)
+        elif run == start:
+            self._starts[idx] = start + length
+            del self._len_at[run]
+            self._len_at[start + length] = tail
+            self._count_swap(run_len, tail)
+        elif tail == 0:
+            self._len_at[run] = start - run
+            self._count_swap(run_len, start - run)
+        else:
+            head = start - run
+            self._len_at[run] = head
+            self._starts.insert(idx + 1, start + length)
+            self._len_at[start + length] = tail
+            self._count_swap(run_len, head, tail)
+
+    def free_run_length_at(self, block: int) -> int:
+        """Free blocks from ``block`` to the end of its run (0 if taken).
+
+        The batched allocator asks this to size one ``alloc_range`` where
+        the per-block path would probe ``is_free`` repeatedly.
+        """
+        start = self._run_containing(block)
+        if start is None:
+            return 0
+        return start + self._len_at[start] - block
+
+    def free_range(self, start: int, length: int) -> None:
+        """Return ``length`` consecutive blocks to the free map.
+
+        The batched form of ``free()`` for a contiguous allocated run:
+        one overlap check, at most two neighbour merges, one insert —
+        instead of ``length`` bisect/merge cycles.  Atomic: if any block
+        of the range is already free the error names it and the map is
+        left untouched.
+        """
+        if length <= 0:
+            return
+        if start < 0 or start + length > self.nblocks:
+            raise ValueError(f"block range ({start}, {length}) out of range")
+        # Runs are disjoint and sorted, so the only run that can overlap
+        # [start, start+length) is the last one starting at or before its
+        # final block.  That same run is also the only left-merge
+        # candidate, and a right neighbour can only sit at the next slot,
+        # so every merge shape resolves to in-place interval surgery.
+        end = start + length
+        idx = bisect_right(self._starts, end - 1) - 1
+        left_len = 0
+        if idx >= 0:
+            run = self._starts[idx]
+            run_end = run + self._len_at[run]
+            if run_end > start:
+                raise ValueError(f"block {max(run, start)} is already free")
+            if run_end == start:
+                left_len = self._len_at[run]
+        right_len = (
+            self._len_at[end] if end < self.nblocks and end in self._len_at
+            else 0
+        )
+        self.free_blocks += length
+        if left_len and right_len:
+            run = self._starts[idx]
+            total = left_len + length + right_len
+            self._len_at[run] = total
+            del self._starts[idx + 1]
+            del self._len_at[end]
+            self._count_add(total)
+            self._count_drop(left_len)
+            self._count_drop(right_len)
+        elif left_len:
+            run = self._starts[idx]
+            self._len_at[run] = left_len + length
+            self._count_add(left_len + length)
+            self._count_drop(left_len)
+        elif right_len:
+            self._starts[idx + 1] = start
+            del self._len_at[end]
+            self._len_at[start] = length + right_len
+            self._count_add(length + right_len)
+            self._count_drop(right_len)
+        else:
+            self._starts.insert(idx + 1, start)
+            self._len_at[start] = length
+            self._count_add(length)
 
     def free(self, block: int) -> None:
         """Return ``block`` to the free map, merging with neighbours."""
         if not 0 <= block < self.nblocks:
             raise ValueError(f"block {block} out of range")
-        if self.is_free(block):
-            raise ValueError(f"block {block} is already free")
-        start, length = block, 1
-        left = self._run_containing(block - 1) if block > 0 else None
-        if left is not None:
-            left_len = self._len_at[left]
-            self._remove(left)
-            start = left
-            length += left_len
-        if block + 1 < self.nblocks and block + 1 in self._len_at:
-            right_len = self._len_at[block + 1]
-            self._remove(block + 1)
-            length += right_len
-        self._insert(start, length)
+        self.free_range(block, 1)
 
     # ------------------------------------------------------------------
     # Internals
@@ -235,10 +341,28 @@ class BlockRunMap:
         del self._starts[idx]
         length = self._len_at.pop(start)
         self.free_blocks -= length
-        remaining = self._len_count[length] - 1
+        self._count_drop(length)
+
+    # Length-histogram bookkeeping behind ``max_run`` ------------------
+
+    def _count_add(self, length: int) -> None:
+        lc = self._len_count
+        lc[length] = lc.get(length, 0) + 1
+        if length > self._max_run:
+            self._max_run = length
+
+    def _count_drop(self, length: int) -> None:
+        lc = self._len_count
+        remaining = lc[length] - 1
         if remaining:
-            self._len_count[length] = remaining
+            lc[length] = remaining
         else:
-            del self._len_count[length]
+            del lc[length]
             if length == self._max_run:
-                self._max_run = max(self._len_count) if self._len_count else 0
+                self._max_run = max(lc) if lc else 0
+
+    def _count_swap(self, removed: int, *added: int) -> None:
+        """Replace one run length with zero or more new lengths."""
+        for length in added:
+            self._count_add(length)
+        self._count_drop(removed)

@@ -29,6 +29,13 @@ class Directory:
     #: "sorted by directory", i.e. in directory order).
     children: Dict[int, None] = field(default_factory=dict)
 
+    def clone(self) -> "Directory":
+        """An independent copy (the child table is copied)."""
+        return Directory(
+            name=self.name, ino=self.ino, cg=self.cg,
+            children=dict(self.children),
+        )
+
     def add(self, ino: int) -> None:
         """Record a new child inode."""
         if ino in self.children:

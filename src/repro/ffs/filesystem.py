@@ -23,6 +23,7 @@ carried for the aging analysis.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import (
@@ -74,6 +75,41 @@ class FileSystem:
         #: Per-inode high-water mark of cluster windows already handed to
         #: the policy (the "flushed" frontier).
         self._realloc_mark: Dict[int, int] = {}
+
+    def __deepcopy__(self, memo: Dict[int, object]) -> "FileSystem":
+        """Deep copy via layer-by-layer ``clone()`` calls.
+
+        The experiments deep-copy an aged file system once per benchmark
+        repetition, and the generic ``copy.deepcopy`` walk over millions
+        of bitmap bytes and block addresses dominated their wall time.
+        Each layer knows its own columns, so the whole graph copies with
+        bulk container operations; only the immutable ``params`` is
+        shared.  Falls back to the generic walk when telemetry handles
+        are live, since those are part of the policy's object graph.
+        """
+        policy = self.policy
+        if policy._m is not None or policy._e is not None:
+            twin = FileSystem.__new__(FileSystem)
+            memo[id(self)] = twin
+            for key, value in self.__dict__.items():
+                setattr(twin, key, copy.deepcopy(value, memo))
+            return twin
+        twin = FileSystem.__new__(FileSystem)
+        memo[id(self)] = twin
+        twin.params = self.params
+        twin.sb = self.sb.clone()
+        pol = type(policy).__new__(type(policy))
+        pol.__dict__.update(policy.__dict__)  # counters are plain ints
+        pol.sb = twin.sb
+        twin.policy = pol
+        twin.enforce_reserve = self.enforce_reserve
+        twin.inodes = {ino: inode.clone() for ino, inode in self.inodes.items()}
+        twin.directories = {
+            name: d.clone() for name, d in self.directories.items()
+        }
+        twin._dir_of_file = dict(self._dir_of_file)
+        twin._realloc_mark = dict(self._realloc_mark)
+        return twin
 
     # ------------------------------------------------------------------
     # Directories
@@ -291,7 +327,9 @@ class FileSystem:
     def _alloc_full_blocks(self, inode: Inode, final_full: int) -> None:
         params = self.params
         maxbpg = params.maxbpg_blocks
-        for lbn in range(len(inode.blocks), final_full):
+        batch_ok = params.rotdelay == 0
+        lbn = len(inode.blocks)
+        while lbn < final_full:
             if inode.needs_indirect_at(lbn, params):
                 # Flush the window in progress before crossing the
                 # boundary, then switch groups via the indirect block.
@@ -323,14 +361,57 @@ class FileSystem:
                 pref = inode.blocks[lbn - 1] + 1 + params.rotdelay
             else:
                 pref = None
+            if batch_ok and pref is not None:
+                # Batch the preference chain: positions up to the next
+                # window / indirect / maxbpg boundary all want the block
+                # after the previous one, so while the free run at
+                # ``pref`` lasts they can be taken as one cluster without
+                # changing which blocks are chosen or when the policy's
+                # window hooks fire.
+                # The nearest of: end of data, next window boundary, next
+                # indirect boundary, next maxbpg switch — all arithmetic,
+                # no per-position scan.  Segment starts are constant over
+                # (lbn, next indirect), so the window formula of
+                # ``_window_boundary`` collapses to one modulo.
+                ndaddr = params.ndaddr
+                nindir = params.block_size // 4
+                if lbn < ndaddr:
+                    seg_start = 0
+                    next_ind = ndaddr
+                else:
+                    seg_start = ndaddr + ((lbn - ndaddr) // nindir) * nindir
+                    next_ind = seg_start + nindir
+                maxcontig = params.maxcontig
+                next_win = (
+                    seg_start
+                    + ((lbn - seg_start) // maxcontig + 1) * maxcontig
+                )
+                first = lbn + 1 if lbn + 1 > ndaddr else ndaddr
+                next_bpg = ((first + maxbpg - 1) // maxbpg) * maxbpg
+                stop = min(final_full, next_win, next_ind)
+                if next_bpg < stop:
+                    stop = next_bpg
+                if stop - lbn > 1:
+                    got = self.policy.alloc_data_run(inode, pref, stop - lbn)
+                    if got:
+                        inode.alloc_cg = params.cg_of_block(pref)
+                        inode.blocks.extend(range(pref, pref + got))
+                        lbn += got
+                        if self._window_boundary(lbn):
+                            mark = self._realloc_mark.get(inode.ino, 0)
+                            if mark < lbn:
+                                self.policy.window_complete(inode, mark, lbn)
+                                self._realloc_mark[inode.ino] = lbn
+                        continue
             block = self.policy.alloc_data_block(inode, pref)
             inode.alloc_cg = params.cg_of_block(block)
             inode.blocks.append(block)
-            if self._window_boundary(lbn + 1):
+            lbn += 1
+            if self._window_boundary(lbn):
                 mark = self._realloc_mark.get(inode.ino, 0)
-                if mark < lbn + 1:
-                    self.policy.window_complete(inode, mark, lbn + 1)
-                    self._realloc_mark[inode.ino] = lbn + 1
+                if mark < lbn:
+                    self.policy.window_complete(inode, mark, lbn)
+                    self._realloc_mark[inode.ino] = lbn
 
     def _window_boundary(self, lbn: int) -> bool:
         """Whether logical block count ``lbn`` ends a cluster window.
@@ -368,10 +449,24 @@ class FileSystem:
             )
 
     def _free_data(self, inode: Inode) -> None:
-        for block in inode.blocks:
-            self.sb.cg_of_block(block).free_block(block)
-        for block in inode.indirect_blocks:
-            self.sb.cg_of_block(block).free_block(block)
+        # Sort the file's blocks and free physically-contiguous stretches
+        # in one pass each — clustered files return their space in a
+        # handful of range frees instead of per-block bitmap writes.
+        # Free state is the same either way (frees commute), so this is
+        # observationally identical to the per-block path.
+        blocks = sorted(inode.blocks + inode.indirect_blocks)
+        bpg = self.params.blocks_per_cg
+        i, n = 0, len(blocks)
+        while i < n:
+            start = blocks[i]
+            cg_limit = (start // bpg + 1) * bpg  # runs never span groups
+            j = i + 1
+            while j < n and blocks[j] == blocks[j - 1] + 1 and blocks[j] < cg_limit:
+                j += 1
+            self.sb.cg_of_block(start).free_block_range(
+                start, blocks[j - 1] - start + 1
+            )
+            i = j
         if inode.tail is not None:
             block, offset, nfrags = inode.tail
             self.sb.cg_of_block(block).free_frag_run(block, offset, nfrags)

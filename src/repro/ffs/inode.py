@@ -41,6 +41,21 @@ class Inode:
     #: when an indirect block is allocated (paper footnote 1).
     alloc_cg: int = 0
 
+    def clone(self) -> "Inode":
+        """An independent copy (block lists copied, scalars shared)."""
+        twin = Inode.__new__(Inode)
+        twin.ino = self.ino
+        twin.is_dir = self.is_dir
+        twin.size = self.size
+        twin.ctime = self.ctime
+        twin.mtime = self.mtime
+        twin.dir_cg = self.dir_cg
+        twin.blocks = list(self.blocks)
+        twin.tail = self.tail
+        twin.indirect_blocks = list(self.indirect_blocks)
+        twin.alloc_cg = self.alloc_cg
+        return twin
+
     # ------------------------------------------------------------------
     # Derived layout facts
     # ------------------------------------------------------------------

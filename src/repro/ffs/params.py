@@ -12,6 +12,7 @@ italics; we reproduce the same values as defaults.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.units import KB, MB
 
@@ -21,7 +22,13 @@ class FSParams:
     """Geometry and policy parameters of a simulated FFS.
 
     The fields below are the knobs the paper's experiments turn; everything
-    else about the file system is derived from them.
+    else about the file system is derived from them.  Derived geometry is
+    memoized per instance (``cached_property`` on a frozen dataclass writes
+    the instance ``__dict__`` directly, so immutability of the declared
+    fields — and their equality/hash/``asdict`` semantics — is untouched):
+    the allocator reads ``frags_per_block`` and friends on every block it
+    places, and recomputing them millions of times per replay is
+    measurable.
     """
 
     #: Requested partition size in bytes (rounded to whole cylinder groups).
@@ -81,48 +88,48 @@ class FSParams:
 
     # Derived geometry ---------------------------------------------------
 
-    @property
+    @cached_property
     def frags_per_block(self) -> int:
         """Fragments per block (8 in the paper's configuration)."""
         return self.block_size // self.frag_size
 
-    @property
+    @cached_property
     def blocks_per_cg(self) -> int:
         """Data+metadata blocks in each cylinder group."""
         return (self.size_bytes // self.ncg) // self.block_size
 
-    @property
+    @cached_property
     def nblocks(self) -> int:
         """Total blocks in the file system (whole cylinder groups only)."""
         return self.blocks_per_cg * self.ncg
 
-    @property
+    @cached_property
     def nfrags(self) -> int:
         """Total fragments in the file system."""
         return self.nblocks * self.frags_per_block
 
-    @property
+    @cached_property
     def actual_size_bytes(self) -> int:
         """Capacity after rounding to whole cylinder groups."""
         return self.nblocks * self.block_size
 
-    @property
+    @cached_property
     def inodes_per_cg(self) -> int:
         """Inodes allocated to each cylinder group's inode table."""
         cg_bytes = self.blocks_per_cg * self.block_size
         return max(16, cg_bytes // self.bytes_per_inode)
 
-    @property
+    @cached_property
     def ninodes(self) -> int:
         """Total inodes in the file system."""
         return self.inodes_per_cg * self.ncg
 
-    @property
+    @cached_property
     def inode_table_blocks_per_cg(self) -> int:
         """Blocks of each group consumed by its inode table."""
         return -(-self.inodes_per_cg * self.inode_size // self.block_size)
 
-    @property
+    @cached_property
     def metadata_blocks_per_cg(self) -> int:
         """Leading blocks of each group reserved for metadata.
 
@@ -133,27 +140,27 @@ class FSParams:
         """
         return 1 + self.inode_table_blocks_per_cg
 
-    @property
+    @cached_property
     def data_blocks_per_cg(self) -> int:
         """Blocks per group available for file data."""
         return self.blocks_per_cg - self.metadata_blocks_per_cg
 
-    @property
+    @cached_property
     def data_frags(self) -> int:
         """Total fragments available for file data."""
         return self.data_blocks_per_cg * self.ncg * self.frags_per_block
 
-    @property
+    @cached_property
     def max_cluster_bytes(self) -> int:
         """Maximum cluster size in bytes (56 KB in Table 1)."""
         return self.maxcontig * self.block_size
 
-    @property
+    @cached_property
     def max_direct_bytes(self) -> int:
         """Largest file representable without an indirect block (96 KB)."""
         return self.ndaddr * self.block_size
 
-    @property
+    @cached_property
     def maxbpg_blocks(self) -> int:
         """Resolved ``maxbpg``: the explicit value or a quarter group,
         rounded down to a whole number of clusters so the group switch

@@ -33,6 +33,15 @@ class Superblock:
         self.cgs: List[CylinderGroup] = [
             CylinderGroup(params, i) for i in range(params.ncg)
         ]
+        self._reserve = int(params.data_frags * params.minfree)
+
+    def clone(self) -> "Superblock":
+        """An independent copy; shares only the immutable ``params``."""
+        twin = Superblock.__new__(Superblock)
+        twin.params = self.params
+        twin.cgs = [cg.clone() for cg in self.cgs]
+        twin._reserve = self._reserve
+        return twin
 
     # ------------------------------------------------------------------
     # Totals
@@ -98,8 +107,15 @@ class Superblock:
         :class:`OutOfSpaceError` if every group fails.
         """
         ncg = self.params.ncg
-        tried = set()
-        order: List[int] = [start_cg % ncg]
+        first = start_cg % ncg
+        # The preferred group succeeds on the overwhelming majority of
+        # calls, so it is tried before the rehash order is even built —
+        # the order list was measurably expensive at replay scale.
+        result = attempt(self.cgs[first])
+        if result is not None:
+            return result
+        tried = {first}
+        order: List[int] = []
         offset = 1
         while offset < ncg:
             order.append((start_cg + offset) % ncg)
@@ -168,5 +184,7 @@ class Superblock:
         reserve; the aging workload's "90% utilization" peak is measured
         against this same convention.
         """
-        reserve = int(self.params.data_frags * self.params.minfree)
-        return self.free_frags - nfrags < reserve
+        total = 0
+        for cg in self.cgs:
+            total += cg.free_frags
+        return total - nfrags < self._reserve

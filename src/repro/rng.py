@@ -14,6 +14,11 @@ from __future__ import annotations
 import hashlib
 import random
 
+#: Re-exported generator type, so consumers can annotate substream-derived
+#: generators without importing the stdlib module (which the determinism
+#: lint bans outside this package).
+Random = random.Random
+
 
 def substream(master_seed: int, name: str) -> random.Random:
     """Return an independent :class:`random.Random` for subsystem ``name``.

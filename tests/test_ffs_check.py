@@ -149,7 +149,7 @@ class TestPerViewDetection:
         cg = fs.sb.cg_of_block(block)
         local = block - cg.base
         (run_length,) = {ln for _off, ln in cg.bitmap.frag_runs(local)}
-        del cg.bitmap._runs[run_length][local]
+        del cg.bitmap.run_index()[run_length][local]
         with pytest.raises(ConsistencyError, match="frag-run index wrong"):
             check_filesystem(fs)
 

@@ -166,7 +166,7 @@ class TestRepairPairsPerViewDetection:
         cg = fs.sb.cg_of_block(block)
         local = block - cg.base
         (run_length,) = {ln for _off, ln in cg.bitmap.frag_runs(local)}
-        del cg.bitmap._runs[run_length][local]
+        del cg.bitmap.run_index()[run_length][local]
         detect_then_repair(fs)
 
     def test_inode_table_key_mismatch(self, fs):
