@@ -12,6 +12,13 @@ A pass counts as **regressed** when its wall time grew by more than
 ``abs_floor_s`` seconds — the absolute floor keeps a 0.01s → 0.02s jitter
 on a near-empty pass from failing a build.  Passes present in only one
 report are reported but never gate.
+
+The significance judgement itself lives in
+:class:`repro.obs.diff.Classifier` — the same abs-floor + relative-
+threshold rule ``repro-ffs diff`` applies to every run delta — so
+wall-time, throughput, and telemetry comparisons share one vocabulary:
+each pass row and each replay-throughput entry carries the
+classifier's noise/notable/regression label alongside the raw numbers.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.bench.suite import SCHEMA
+from repro.obs.diff import REGRESSION, Classifier, WALL_CLOCK_ABS_FLOOR_S
 
 __all__ = [
     "find_reports",
@@ -33,8 +41,13 @@ __all__ = [
 
 #: Default regression threshold: 25% slower fails the gate.
 DEFAULT_THRESHOLD = 0.25
-#: Minimum absolute slowdown (seconds) before a pass can regress.
-DEFAULT_ABS_FLOOR_S = 0.2
+#: Minimum absolute slowdown (seconds) before a pass can regress —
+#: the shared wall-clock jitter floor from the diff classifier.
+DEFAULT_ABS_FLOOR_S = WALL_CLOCK_ABS_FLOOR_S
+
+#: Replay-throughput shifts under 10% are noise regardless of the
+#: wall-time threshold; throughput is a diagnostic, not a gate.
+_OPS_REL_THRESHOLD = 0.1
 
 
 def find_reports(directory: "Path | str" = ".") -> List[Path]:
@@ -79,6 +92,8 @@ def compare_reports(
     """
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
+    classifier = Classifier(rel_threshold=threshold, abs_floor=abs_floor_s)
+    ops_classifier = Classifier(rel_threshold=_OPS_REL_THRESHOLD)
     base_passes = _passes_by_name(baseline)
     cur_passes = _passes_by_name(current)
     rows: List[Dict[str, object]] = []
@@ -92,11 +107,11 @@ def compare_reports(
         base_s = float(base["total_s"])  # type: ignore[arg-type]
         delta = cur_s - base_s
         ratio = cur_s / base_s if base_s > 0 else None
-        regressed = (
-            base_s > 0
-            and delta > abs_floor_s
-            and cur_s > base_s * (1.0 + threshold)
-        )
+        # Wall time is lower-is-better; a pass with no baseline time
+        # recorded (base_s == 0) never gates, exactly as before the
+        # classifier unified the rule.
+        verdict = classifier.classify(base_s, cur_s, direction=True)
+        regressed = base_s > 0 and verdict["label"] == REGRESSION
         experiments = []
         base_exps = dict(base.get("experiments", {}))  # type: ignore[arg-type]
         base_ops = dict(base.get("ops_per_sec", {}))  # type: ignore[arg-type]
@@ -120,6 +135,10 @@ def compare_reports(
                         entry["ops_ratio"] = round(
                             float(c_rate) / float(b_rate), 2
                         )
+                        # Throughput is higher-is-better.
+                        entry["ops_label"] = ops_classifier.classify(
+                            float(b_rate), float(c_rate), direction=False
+                        )["label"]
                 experiments.append(entry)
         experiments.sort(key=lambda e: (-e["delta_s"], e["name"]))  # type: ignore[operator, index]
         rows.append({
@@ -129,6 +148,7 @@ def compare_reports(
             "delta_s": round(delta, 4),
             "ratio": round(ratio, 4) if ratio is not None else None,
             "regressed": regressed,
+            "label": verdict["label"] if base_s > 0 else "noise",
             "experiments": experiments,
         })
         if regressed:
@@ -141,6 +161,7 @@ def compare_reports(
         "baseline_preset": baseline.get("preset"),
         "threshold": threshold,
         "abs_floor_s": abs_floor_s,
+        "classifier": classifier.to_dict(),
         "passes": rows,
         "regressions": regressions,
     }

@@ -24,6 +24,13 @@ Subcommands:
 * ``chaos``      — crash aging replays at seeded points, repair the
   wreckage with fsck, and report the layout/throughput cost against a
   clean halt at the same instant (see :mod:`repro.faults`).
+* ``diff``       — structurally compare two recorded runs (registry
+  ids or manifest files): config, metrics, timelines, disk traces,
+  placement — every delta classified noise/notable/regression by the
+  shared significance rules in :mod:`repro.obs.diff`.
+* ``history``    — list the run registry (``--record``), filtered by
+  ``--command``/``--policy``/``--limit``; ``--drift`` fits per-policy
+  trend lines over the archived summaries and flags metric drift.
 
 Every subcommand takes ``--preset tiny|small|paper`` (default small)
 plus the telemetry flags ``--metrics FILE`` (write a JSON run manifest:
@@ -459,10 +466,91 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run registry location (default: .repro/runs/)",
     )
     p_hist.add_argument(
+        "--command", metavar="NAME", default=None, dest="filter_command",
+        help="only runs recorded by this subcommand (exact match)",
+    )
+    p_hist.add_argument(
+        "--policy", metavar="POLICY", default=None, dest="filter_policy",
+        help="only runs recorded with this --policy value "
+        "(ffs/realloc/both, exact match)",
+    )
+    p_hist.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="keep only the newest N runs after filtering",
+    )
+    p_hist.add_argument(
+        "--drift", action="store_true",
+        help="fit per-policy trend lines (layout score, MB/s, lost "
+        "rotations, seek p99) over the filtered runs and flag drift",
+    )
+    p_hist.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit the run documents as a JSON array instead of a table",
+        help="emit the run documents as a JSON array instead of a table "
+        "(with --drift: the repro.drift/v1 document)",
     )
     p_hist.set_defaults(handler=_cmd_history, _no_telemetry=True)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="structurally compare two recorded runs and classify "
+        "every delta noise/notable/regression",
+    )
+    p_diff.add_argument(
+        "run_a", metavar="RUN_A",
+        help="baseline side: a registry run id (or unique prefix), a "
+        "registry document, or a --metrics manifest file",
+    )
+    p_diff.add_argument(
+        "run_b", metavar="RUN_B",
+        help="comparison side, same forms as RUN_A",
+    )
+    p_diff.add_argument(
+        "--runs-dir", metavar="DIR", default=None,
+        help="run registry to resolve run ids in (default: .repro/runs/)",
+    )
+    p_diff.add_argument(
+        "--events-a", metavar="FILE", default=None,
+        help="event log (JSONL) captured by run A's --events",
+    )
+    p_diff.add_argument(
+        "--events-b", metavar="FILE", default=None,
+        help="event log (JSONL) captured by run B's --events",
+    )
+    p_diff.add_argument(
+        "--disk-trace-a", metavar="FILE", default=None,
+        help="disk I/O trace (JSONL) captured by run A's --disk-trace",
+    )
+    p_diff.add_argument(
+        "--disk-trace-b", metavar="FILE", default=None,
+        help="disk I/O trace (JSONL) captured by run B's --disk-trace",
+    )
+    p_diff.add_argument(
+        "--image-a", metavar="FILE", default=None,
+        help="saved image from run A (age --save-image) for the "
+        "placement comparison",
+    )
+    p_diff.add_argument(
+        "--image-b", metavar="FILE", default=None,
+        help="saved image from run B for the placement comparison",
+    )
+    p_diff.add_argument(
+        "--rel-threshold", type=float, default=None, metavar="FRAC",
+        help="relative significance threshold (default: 0.05 = 5%%)",
+    )
+    p_diff.add_argument(
+        "--abs-floor", type=float, default=None, metavar="X",
+        help="absolute delta floor below which everything is noise "
+        "(default: 0, with per-family floors for wall clock and scores)",
+    )
+    p_diff.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the diff document (repro.diff/v1) instead of text",
+    )
+    p_diff.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="also render a self-contained side-by-side HTML report",
+    )
+    p_diff.set_defaults(handler=_cmd_diff, _no_telemetry=True)
 
     p_lint = sub.add_parser(
         "lint",
@@ -1051,16 +1139,170 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_history(args: argparse.Namespace) -> int:
-    from repro.obs.store import RunStore, render_history
+    from repro.obs.store import RunStore, filter_runs, render_history
 
+    limit = getattr(args, "limit", None)
+    if limit is not None and limit < 1:
+        print("history: --limit must be at least 1", file=sys.stderr)
+        return 2
     store = RunStore(getattr(args, "runs_dir", None))
-    runs = store.runs()
+    runs = filter_runs(
+        store.runs(warn=True),
+        command=getattr(args, "filter_command", None),
+        policy=getattr(args, "filter_policy", None),
+        limit=limit,
+    )
+    if getattr(args, "drift", False):
+        from repro.obs.diff import detect_drift, render_drift
+
+        # Trend lines read left to right; undo the listing's
+        # newest-first order.
+        document = detect_drift(list(reversed(runs)))
+        if getattr(args, "as_json", False):
+            from repro.obs.export import write_json
+
+            write_json(sys.stdout, document)
+        else:
+            print(render_drift(document))
+        return 0
     if getattr(args, "as_json", False):
         from repro.obs.export import write_json
 
         write_json(sys.stdout, runs)
         return 0
     print(render_history(runs))
+    return 0
+
+
+def _load_diff_side(
+    ref: str,
+    runs_dir: "str | None",
+    events_path: "str | None",
+    trace_path: "str | None",
+    image_path: "str | None",
+):
+    """Resolve one ``diff`` operand into a :class:`RunArtifacts`.
+
+    ``ref`` may be a file (a registry document or a ``--metrics``
+    manifest — distinguished by schema) or a registry run id / unique
+    id prefix resolved against ``--runs-dir``.
+    """
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.errors import RunStoreError
+    from repro.obs.diff import RunArtifacts
+    from repro.obs.store import RunStore
+
+    path = Path(ref)
+    if path.is_file():
+        try:
+            with open(path) as fp:
+                document = json_mod.load(fp)
+        except json_mod.JSONDecodeError as exc:
+            raise RunStoreError(f"{ref}: {exc}") from exc
+        if not isinstance(document, dict):
+            raise RunStoreError(f"{ref}: not a JSON object")
+        schema = str(document.get("schema", ""))
+        if schema.startswith("repro.obs.runstore/"):
+            manifest = document.get("manifest")
+            if not isinstance(manifest, dict):
+                raise RunStoreError(f"{ref}: registry document "
+                                    f"carries no manifest")
+            summary = document.get("summary")
+            side = RunArtifacts(
+                label=str(document.get("id", path.name)),
+                manifest=manifest,
+                summary=summary if isinstance(summary, dict) else None,
+            )
+        elif schema.startswith("repro.obs.manifest/"):
+            side = RunArtifacts(label=path.name, manifest=document)
+        else:
+            raise RunStoreError(
+                f"{ref}: schema {schema!r} is neither a registry "
+                f"document nor a run manifest"
+            )
+    else:
+        document = RunStore(runs_dir).load_run(ref)
+        manifest = document.get("manifest")
+        if not isinstance(manifest, dict):
+            raise RunStoreError(f"run {ref}: registry document "
+                                f"carries no manifest")
+        summary = document.get("summary")
+        side = RunArtifacts(
+            label=str(document.get("id", ref)),
+            manifest=manifest,
+            summary=summary if isinstance(summary, dict) else None,
+        )
+    if events_path:
+        from repro.obs.events import read_jsonl_events
+
+        with open(events_path) as fp:
+            side.events = read_jsonl_events(fp)
+    if trace_path:
+        from repro.obs.disktrace import read_jsonl_trace
+
+        with open(trace_path) as fp:
+            side.disk_trace = read_jsonl_trace(fp)
+    if image_path:
+        from repro.analysis.placement import inspect_filesystem
+        from repro.ffs.image import load_filesystem
+
+        with open(image_path) as fp:
+            fs = load_filesystem(fp, verify=True)
+        side.placement = inspect_filesystem(
+            fs, label=Path(image_path).name
+        )
+    return side
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """``repro-ffs diff``: exit 0 on a rendered diff, 2 on unusable
+    input.  The diff reports, it does not gate — regression *labels*
+    are informational here; the gating comparison stays with
+    ``bench --compare``."""
+    import json as json_mod
+
+    from repro.errors import RunStoreError
+    from repro.obs.diff import Classifier, diff_runs, render_diff
+
+    rel = getattr(args, "rel_threshold", None)
+    floor = getattr(args, "abs_floor", None)
+    if (rel is not None and rel < 0) or (floor is not None and floor < 0):
+        print(
+            "diff: --rel-threshold and --abs-floor must be non-negative",
+            file=sys.stderr,
+        )
+        return 2
+    classifier = Classifier(
+        rel_threshold=rel if rel is not None else Classifier().rel_threshold,
+        abs_floor=floor if floor is not None else Classifier().abs_floor,
+    )
+    try:
+        side_a = _load_diff_side(
+            args.run_a, args.runs_dir,
+            args.events_a, args.disk_trace_a, args.image_a,
+        )
+        side_b = _load_diff_side(
+            args.run_b, args.runs_dir,
+            args.events_b, args.disk_trace_b, args.image_b,
+        )
+    except (RunStoreError, ValueError, json_mod.JSONDecodeError) as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    document = diff_runs(side_a, side_b, classifier=classifier)
+    if getattr(args, "as_json", False):
+        from repro.obs.export import write_json
+
+        write_json(sys.stdout, document)
+    else:
+        print(render_diff(document))
+    if getattr(args, "html", None):
+        from repro.obs.report_html import build_diff_report
+
+        with open(args.html, "w") as fp:
+            fp.write(build_diff_report(document))
+        print(f"wrote diff report to {args.html}", file=sys.stderr)
     return 0
 
 

@@ -66,6 +66,22 @@ class WorkloadError(SimulationError):
     """An aging-workload record was malformed or out of order."""
 
 
+class RunStoreError(SimulationError):
+    """A run-registry document under ``.repro/runs/`` was unusable.
+
+    Raised by :mod:`repro.obs.store` when an entry is unreadable,
+    truncated, or carries a foreign schema.  Bulk listings
+    (``repro-ffs history``, drift trends) catch it per entry and
+    degrade to a one-line stderr warning; addressing one run directly
+    (``repro-ffs diff <run-id>``) lets it surface.  Carries the path
+    of the offending document.
+    """
+
+    def __init__(self, message: str, path: "str | None" = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
 class FaultInjectionError(SimulationError):
     """Base class for failures *injected* by :mod:`repro.faults`.
 

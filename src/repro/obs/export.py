@@ -24,6 +24,7 @@ __all__ = [
     "metrics_to_csv",
     "render_metrics",
     "bucket_quantile",
+    "bucket_quantiles",
 ]
 
 
@@ -153,6 +154,20 @@ def bucket_quantile(data: Dict[str, object], q: float) -> object:
         if seen >= rank:
             return data.get("max") if bound == "+inf" else bound
     return data.get("max")
+
+
+def bucket_quantiles(data: Dict[str, object]) -> Dict[str, object]:
+    """The standard p50/p90/p99 triple every consumer summarises with.
+
+    One call site for the three quantiles the CSV export, the run-store
+    summaries, and the diff classifier all report, so they can never
+    disagree on which quantiles "the" distribution summary means.
+    """
+    return {
+        "p50": bucket_quantile(data, 0.5),
+        "p90": bucket_quantile(data, 0.9),
+        "p99": bucket_quantile(data, 0.99),
+    }
 
 
 def _fmt_value(value: object) -> str:

@@ -26,6 +26,7 @@ __all__ = [
     "HeatmapSeries",
     "heatmap_series",
     "seek_distance_histogram",
+    "service_time_histogram",
     "inter_request_histogram",
     "trace_summary",
 ]
@@ -97,6 +98,31 @@ def seek_distance_histogram(
             continue
         if float(row.get("seek_ms", 0.0) or 0.0) > 0.0:
             hist.observe(float(row.get("seek_cyls", 0) or 0))
+    if not hist.count:
+        return None
+    return hist.to_dict()
+
+
+def _service_buckets() -> List[float]:
+    """Millisecond ladder spanning buffer hits through multi-seek ops."""
+    return [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0]
+
+
+def service_time_histogram(
+    trace_rows: Iterable[Dict[str, object]],
+) -> Optional[Dict[str, object]]:
+    """Distribution of per-request service time (seek + rotation +
+    transfer), the trace-level view of what the paper's read/write
+    throughput figures aggregate.  Includes every read/write request —
+    buffer hits land in the bottom buckets, lost rotations in the tail
+    — so a diff of two traces shows *where* the service mass moved.
+    Returns a histogram snapshot dict, or None for an empty trace.
+    """
+    hist = Histogram("trace.service_time_ms", buckets=_service_buckets())
+    for row in trace_rows:
+        if row.get("kind") not in ("read", "write"):
+            continue
+        hist.observe(float(row.get("service_ms", 0.0) or 0.0))
     if not hist.count:
         return None
     return hist.to_dict()

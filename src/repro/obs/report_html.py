@@ -29,7 +29,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import events as obs_events
 
-__all__ = ["build_report", "build_inspect_report", "report_from_files"]
+__all__ = [
+    "build_report",
+    "build_inspect_report",
+    "build_diff_report",
+    "report_from_files",
+]
 
 #: Fixed-order categorical series colors (light, dark) — validated
 #: all-pairs safe for up to three simultaneous series.
@@ -91,6 +96,11 @@ ul.tree .t { color: var(--ink-2); }
        background: var(--accent); vertical-align: middle; }
 .note { color: var(--ink-2); font-size: 12px; }
 code { background: var(--surface-2); padding: 0 4px; border-radius: 3px; }
+.lab { display: inline-block; padding: 0 6px; border-radius: 3px;
+       font-size: 11px; font-weight: 600; text-transform: uppercase; }
+.lab-regression { background: var(--series-2); color: var(--surface); }
+.lab-notable { background: var(--series-1); color: var(--surface); }
+.lab-noise { background: var(--surface-2); color: var(--ink-2); }
 """
 
 
@@ -259,6 +269,119 @@ def _histogram_chart(
                 f'<text x="{x + bar_w / 2:.1f}" y="{height - 5}" '
                 f'text-anchor="middle">{_esc(label)}</text>'
             )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _signed_bar_chart(
+    pairs: Sequence[Tuple[object, float]],
+    caption: str,
+    width: int = 660,
+    height: int = 130,
+) -> str:
+    """Inline-SVG signed bar strip: growth up in the primary series
+    color, shrinkage down in the secondary, around a zero baseline.
+
+    The diff report's workhorse — per-bucket histogram count deltas and
+    per-CG occupancy deltas both render through it.
+    """
+    values = [float(v) for _, v in pairs]
+    if not values:
+        return '<p class="note">(no buckets)</p>'
+    peak = max(abs(v) for v in values) or 1.0
+    pad_l, pad_r, pad_t, pad_b = 44, 8, 6, 20
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    zero_y = pad_t + plot_h / 2.0
+    half = plot_h / 2.0 - 2
+    n = len(pairs)
+    gap = 2
+    bar_w = max(2.0, (plot_w - gap * (n - 1)) / n)
+    label_every = max(1, (n + 11) // 12)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{_esc(caption)}">'
+        f'<line x1="{pad_l}" y1="{zero_y:.1f}" x2="{width - pad_r}" '
+        f'y2="{zero_y:.1f}" stroke="var(--grid)" stroke-width="1"/>'
+        f'<text x="{pad_l - 6}" y="{pad_t + 8}" text-anchor="end">'
+        f"+{_nice(peak)}</text>"
+        f'<text x="{pad_l - 6}" y="{pad_t + plot_h:.1f}" text-anchor="end">'
+        f"-{_nice(peak)}</text>"
+    ]
+    for i, (bound, value) in enumerate(pairs):
+        x = pad_l + i * (bar_w + gap)
+        label = "+inf" if bound == "+inf" else _nice(bound)
+        if value:
+            h = max(1.0, half * abs(float(value)) / peak)
+            color = "var(--series-1)" if value > 0 else "var(--series-2)"
+            y = zero_y - h if value > 0 else zero_y
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{color}">'
+                f"<title>{_esc(label)}: "
+                f"{'+' if value > 0 else ''}{_nice(value)}</title></rect>"
+            )
+        if i % label_every == 0 or i == n - 1:
+            parts.append(
+                f'<text x="{x + bar_w / 2:.1f}" y="{height - 5}" '
+                f'text-anchor="middle">{_esc(label)}</text>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _signed_heatmap_chart(
+    days: Sequence[int],
+    matrix: Sequence[Sequence[float]],
+    caption: str,
+    width: int = 660,
+    height: int = 150,
+    max_cols: int = 100,
+) -> str:
+    """Signed day × CG delta heatmap: run-b-fuller cells in the primary
+    series color, run-a-fuller cells in the secondary, intensity in
+    ``fill-opacity`` scaled to the matrix's own peak |delta|."""
+    if not matrix or not matrix[0]:
+        return '<p class="note">(no per-group samples on both sides)</p>'
+    peak = max((abs(v) for row in matrix for v in row), default=0.0) or 1.0
+    stride = max(1, -(-len(days) // max_cols))
+    cols = list(range(0, len(days), stride))
+    if cols[-1] != len(days) - 1:
+        cols.append(len(days) - 1)
+    ncg = max(len(row) for row in matrix)
+    pad_l, pad_r, pad_t, pad_b = 44, 8, 6, 20
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    cell_w = plot_w / len(cols)
+    cell_h = plot_h / ncg
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" aria-label="{_esc(caption)}">'
+        f'<text x="{pad_l - 6}" y="{pad_t + 8}" text-anchor="end">cg 0</text>'
+        f'<text x="{pad_l - 6}" y="{pad_t + plot_h:.1f}" text-anchor="end">'
+        f"cg {ncg - 1}</text>"
+    ]
+    for i, col in enumerate(cols):
+        row = matrix[col]
+        x = pad_l + i * cell_w
+        for cg in range(len(row)):
+            value = float(row[cg])
+            opacity = min(1.0, abs(value) / peak)
+            if opacity < 0.01:
+                continue
+            color = "var(--series-1)" if value > 0 else "var(--series-2)"
+            y = pad_t + cg * cell_h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_w:.2f}" '
+                f'height="{cell_h:.2f}" fill="{color}" '
+                f'fill-opacity="{opacity:.3f}">'
+                f"<title>day {days[col]}, cg {cg}: "
+                f"{'+' if value > 0 else ''}{value:.3f}</title></rect>"
+            )
+    for col_index in (0, len(cols) - 1):
+        x = pad_l + (col_index + 0.5) * cell_w
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - 5}" text-anchor="middle">'
+            f"day {days[cols[col_index]]}</text>"
+        )
     parts.append("</svg>")
     return "".join(parts)
 
@@ -870,6 +993,276 @@ def build_inspect_report(documents: Sequence[Dict[str, object]]) -> str:
         '<html lang="en"><head><meta charset="utf-8">\n'
         '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
         f"<title>placement inspection</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        f"<body>{body}</body></html>\n"
+    )
+
+
+def _diff_header_section(document: Dict[str, object]) -> str:
+    a = document.get("a")
+    b = document.get("b")
+    a = a if isinstance(a, dict) else {}
+    b = b if isinstance(b, dict) else {}
+    counts = document.get("counts")
+    counts = counts if isinstance(counts, dict) else {}
+
+    def side_row(tag: str, side: Dict[str, object]) -> str:
+        return (
+            f"<tr><td>{_esc(tag)}</td>"
+            f"<td><code>{_esc(side.get('label', '?'))}</code></td>"
+            f"<td>repro-ffs {_esc(side.get('command', '?'))}</td>"
+            f"<td>{_esc(side.get('preset') or '-')}</td>"
+            f"<td>{_esc(side.get('policy') or '-')}</td>"
+            f'<td class="num">'
+            f"{_esc(_fmt_wall(side.get('wall_seconds')))}</td></tr>"  # type: ignore[arg-type]
+        )
+
+    title = f"run diff — {a.get('label', '?')} vs {b.get('label', '?')}"
+    badge = (
+        f'<span class="lab lab-regression">{counts.get("regression", 0)} '
+        f'regression</span> <span class="lab lab-notable">'
+        f'{counts.get("notable", 0)} notable</span> '
+        f'<span class="lab lab-noise">{counts.get("noise", 0)} noise</span>'
+    )
+    return (
+        f"<header><h1>{_esc(title)}</h1>"
+        f'<p class="meta">schema {_esc(document.get("schema", "?"))} · '
+        f"{badge}</p></header>"
+        "<section><table>"
+        "<tr><th></th><th>run</th><th>command</th><th>preset</th>"
+        '<th>policy</th><th class="num">wall</th></tr>'
+        f"{side_row('a', a)}{side_row('b', b)}</table></section>"
+    )
+
+
+def _diff_deltas_section(document: Dict[str, object]) -> str:
+    deltas = document.get("deltas")
+    deltas = deltas if isinstance(deltas, list) else []
+    significant = [r for r in deltas if r.get("label") != "noise"]
+    if not significant:
+        return (
+            "<section><h2>Significant deltas</h2>"
+            '<p class="note">none — the runs are equivalent under the '
+            f"classifier ({len(deltas)} comparisons, all noise).</p>"
+            "</section>"
+        )
+    rows = []
+    for r in significant:
+        delta = r.get("delta")
+        rel = r.get("rel")
+        sign = "+" if isinstance(delta, (int, float)) and delta >= 0 else ""
+        rel_text = (
+            f" ({'+' if rel >= 0 else ''}{rel:.1%})"
+            if isinstance(rel, (int, float)) else ""
+        )
+        rows.append(
+            f'<tr><td><span class="lab lab-{_esc(r.get("label"))}">'
+            f"{_esc(r.get('label'))}</span></td>"
+            f"<td>{_esc(r.get('section', '?'))}</td>"
+            f"<td><code>{_esc(r.get('name', '?'))}</code></td>"
+            f'<td class="num">{_nice(r.get("baseline"))}</td>'
+            f'<td class="num">{_nice(r.get("current"))}</td>'
+            f'<td class="num">{sign}{_nice(delta)}{_esc(rel_text)}</td></tr>'
+        )
+    return (
+        "<section><h2>Significant deltas</h2><table>"
+        "<tr><th></th><th>section</th><th>metric</th>"
+        '<th class="num">a</th><th class="num">b</th>'
+        '<th class="num">delta</th></tr>'
+        f"{''.join(rows)}</table>"
+        f'<p class="note">{len(deltas) - len(significant)} further '
+        "comparisons classified as noise.</p></section>"
+    )
+
+
+def _diff_timeline_section(document: Dict[str, object]) -> str:
+    timeline = document.get("timeline")
+    timeline = timeline if isinstance(timeline, dict) else {}
+    pairs = timeline.get("pairs")
+    pairs = pairs if isinstance(pairs, list) else []
+    if not pairs:
+        return ""
+    a = document.get("a")
+    b = document.get("b")
+    label_a = str(a.get("label", "a")) if isinstance(a, dict) else "a"
+    label_b = str(b.get("label", "b")) if isinstance(b, dict) else "b"
+    out = ["<section><h2>Timeline divergence</h2>"]
+    for pair in pairs[:_MAX_SERIES]:
+        name = (
+            pair["label_a"] if pair["label_a"] == pair["label_b"]
+            else f"{pair['label_a']} vs {pair['label_b']}"
+        )
+        day = pair.get("first_divergence_day")
+        day_text = (
+            f"first significant divergence at day {day}"
+            if day is not None else "no significant divergence"
+        )
+        out.append(
+            f'<p class="meta">{_esc(name)} — layout score, both runs '
+            f"({_esc(day_text)})</p>"
+        )
+        out.append(
+            _line_chart(
+                [
+                    (f"{label_a}: {pair['label_a']}", pair.get("score_a", [])),
+                    (f"{label_b}: {pair['label_b']}", pair.get("score_b", [])),
+                ],
+                y_label="layout score",
+            )
+        )
+        divergence = pair.get("score_divergence")
+        if divergence:
+            out.append(
+                f'<p class="meta">{_esc(name)} — score divergence '
+                f"(b &#8722; a)</p>"
+            )
+            out.append(
+                _line_chart(
+                    [("b - a", divergence)],
+                    y_label="score delta", height=120,
+                )
+            )
+        occupancy = pair.get("occupancy_delta")
+        if isinstance(occupancy, dict):
+            out.append(
+                f'<p class="meta">{_esc(name)} — per-CG occupancy delta '
+                f"(blue = b fuller, orange = a fuller)</p>"
+            )
+            out.append(
+                _signed_heatmap_chart(
+                    occupancy.get("days", []),
+                    occupancy.get("matrix", []),
+                    caption=f"{name} occupancy delta heatmap",
+                )
+            )
+    if len(pairs) > _MAX_SERIES:
+        out.append(
+            f'<p class="note">(+{len(pairs) - _MAX_SERIES} more label '
+            f"pairs folded)</p>"
+        )
+    out.append("</section>")
+    return "".join(out)
+
+
+def _diff_histograms_section(
+    document: Dict[str, object], cap: int = 8
+) -> str:
+    panels: List[Dict[str, object]] = []
+    for section_key in ("metrics", "disktrace"):
+        section = document.get(section_key)
+        section = section if isinstance(section, dict) else {}
+        histograms = section.get("histograms")
+        if isinstance(histograms, list):
+            panels.extend(h for h in histograms if isinstance(h, dict))
+    panels = [
+        h for h in panels
+        if any(v for _, v in h.get("bucket_deltas", []))  # type: ignore[union-attr]
+    ]
+    if not panels:
+        return ""
+    out = ["<section><h2>Distribution shifts (b &#8722; a)</h2>"]
+    for h in panels[:cap]:
+        name = str(h.get("name", "?"))
+        base_q = h.get("baseline_quantiles")
+        cur_q = h.get("current_quantiles")
+        base_q = base_q if isinstance(base_q, dict) else {}
+        cur_q = cur_q if isinstance(cur_q, dict) else {}
+        quantiles = " · ".join(
+            f"{key} {_nice(base_q.get(key))} &#8594; {_nice(cur_q.get(key))}"
+            for key in ("p50", "p90", "p99")
+            if base_q.get(key) is not None or cur_q.get(key) is not None
+        )
+        out.append(
+            f'<p class="meta"><code>{_esc(name)}</code>'
+            f"{' — ' + quantiles if quantiles else ''}</p>"
+        )
+        out.append(
+            _signed_bar_chart(
+                [(bound, float(v)) for bound, v in h.get("bucket_deltas", [])],  # type: ignore[union-attr]
+                caption=f"{name} bucket deltas",
+            )
+        )
+    if len(panels) > cap:
+        out.append(
+            f'<p class="note">(+{len(panels) - cap} more shifted '
+            f"distributions)</p>"
+        )
+    out.append("</section>")
+    return "".join(out)
+
+
+def _diff_placement_section(document: Dict[str, object]) -> str:
+    placement = document.get("placement")
+    placement = placement if isinstance(placement, dict) else {}
+    occupancy = placement.get("occupancy_delta")
+    if not isinstance(occupancy, list) or not occupancy:
+        return ""
+    return (
+        "<section><h2>Placement occupancy delta "
+        "(b &#8722; a, final images)</h2>"
+        + _signed_bar_chart(
+            [(i, float(v)) for i, v in enumerate(occupancy)],
+            caption="per-CG occupancy delta",
+        )
+        + "</section>"
+    )
+
+
+def _diff_config_section(document: Dict[str, object]) -> str:
+    meta = document.get("meta")
+    meta = meta if isinstance(meta, dict) else {}
+    out: List[str] = []
+    for key, title in (
+        ("config", "Config changes"),
+        ("environment", "Environment changes"),
+    ):
+        block = meta.get(key)
+        block = block if isinstance(block, dict) else {}
+        changed = block.get("changed")
+        changed = changed if isinstance(changed, dict) else {}
+        only_a = block.get("only_a") or []
+        only_b = block.get("only_b") or []
+        if not changed and not only_a and not only_b:
+            continue
+        rows = "".join(
+            f"<tr><td><code>{_esc(name)}</code></td>"
+            f"<td>{_esc(_nice(vals[0]))}</td><td>{_esc(_nice(vals[1]))}</td>"
+            f"</tr>"
+            for name, vals in sorted(changed.items())
+        )
+        notes = []
+        if only_a:
+            notes.append("only in a: " + ", ".join(map(str, only_a)))
+        if only_b:
+            notes.append("only in b: " + ", ".join(map(str, only_b)))
+        note = (
+            f'<p class="note">{_esc("; ".join(notes))}</p>' if notes else ""
+        )
+        table = (
+            f"<table><tr><th>key</th><th>a</th><th>b</th></tr>{rows}</table>"
+            if rows else ""
+        )
+        out.append(f"<section><h2>{title}</h2>{table}{note}</section>")
+    return "".join(out)
+
+
+def build_diff_report(document: Dict[str, object]) -> str:
+    """``repro-ffs diff --html``: one ``repro.diff/v1`` document as a
+    self-contained side-by-side page."""
+    sections = [
+        _diff_header_section(document),
+        _diff_deltas_section(document),
+        _diff_timeline_section(document),
+        _diff_histograms_section(document),
+        _diff_placement_section(document),
+        _diff_config_section(document),
+    ]
+    body = "".join(s for s in sections if s)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">\n'
+        "<title>repro run diff</title>\n"
         f"<style>{_CSS}</style></head>\n"
         f"<body>{body}</body></html>\n"
     )

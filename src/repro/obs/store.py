@@ -29,10 +29,12 @@ Documents carry schema ``repro.obs.runstore/v1``:
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.obs.export import bucket_quantile, write_json
+from repro.errors import RunStoreError
+from repro.obs.export import bucket_quantiles, write_json
 from repro.obs.manifest import RunManifest
 
 SCHEMA = "repro.obs.runstore/v1"
@@ -40,8 +42,8 @@ SCHEMA = "repro.obs.runstore/v1"
 #: Default registry location, next to the artifact cache.
 DEFAULT_DIR = ".repro/runs"
 
-__all__ = ["RunStore", "summarize_manifest", "render_history", "SCHEMA",
-           "DEFAULT_DIR"]
+__all__ = ["RunStore", "summarize_manifest", "render_history",
+           "filter_runs", "SCHEMA", "DEFAULT_DIR"]
 
 
 def summarize_manifest(manifest: RunManifest) -> Dict[str, object]:
@@ -84,12 +86,14 @@ def summarize_manifest(manifest: RunManifest) -> Dict[str, object]:
         summary["lost_rotations"] = int(lost)
     seek_hist = metrics.get("disk.seek_time_ms")
     if seek_hist is not None and seek_hist.get("count"):
-        summary["seek_p50_ms"] = bucket_quantile(seek_hist, 0.5)
-        summary["seek_p99_ms"] = bucket_quantile(seek_hist, 0.99)
+        quantiles = bucket_quantiles(seek_hist)
+        summary["seek_p50_ms"] = quantiles["p50"]
+        summary["seek_p99_ms"] = quantiles["p99"]
     dist_hist = metrics.get("disk.seek_distance_cyl")
     if dist_hist is not None and dist_hist.get("count"):
-        summary["seek_distance_p50_cyl"] = bucket_quantile(dist_hist, 0.5)
-        summary["seek_distance_p99_cyl"] = bucket_quantile(dist_hist, 0.99)
+        quantiles = bucket_quantiles(dist_hist)
+        summary["seek_distance_p50_cyl"] = quantiles["p50"]
+        summary["seek_distance_p99_cyl"] = quantiles["p99"]
     if manifest.wall_seconds is not None:
         summary["wall_seconds"] = round(manifest.wall_seconds, 3)
     return summary
@@ -128,30 +132,115 @@ class RunStore:
             write_json(fp, document)
         return run_id
 
-    def runs(self) -> List[Dict[str, object]]:
+    def _load_document(self, path: Path) -> Dict[str, object]:
+        """One registry document, or a typed :class:`RunStoreError`.
+
+        Foreign schemas (a stray JSON file in the directory) and
+        corrupt/truncated entries both come back as the same error
+        type, so every caller makes one decision: skip with a warning
+        (bulk listings) or surface (direct addressing).
+        """
+        try:
+            with open(path) as fp:
+                document = json.load(fp)
+        except OSError as exc:
+            raise RunStoreError(
+                f"unreadable run document {path.name}: {exc}",
+                path=str(path),
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise RunStoreError(
+                f"corrupt run document {path.name}: {exc}",
+                path=str(path),
+            ) from exc
+        if not isinstance(document, dict) or not str(
+            document.get("schema", "")
+        ).startswith("repro.obs.runstore/"):
+            raise RunStoreError(
+                f"foreign document {path.name}: not a "
+                f"repro.obs.runstore/* entry",
+                path=str(path),
+            )
+        return document
+
+    def runs(self, warn: bool = False) -> List[Dict[str, object]]:
         """All readable run documents, oldest first (id order).
 
         Unreadable or foreign JSON files are skipped, not fatal: the
         registry is append-only across many sessions and one damaged
-        document must not hide the rest of the history.
+        document must not hide the rest of the history.  With
+        ``warn=True`` (what ``repro-ffs history`` and the trend panels
+        pass) each skipped entry costs one stderr line, so silent data
+        loss is still visible.
         """
         if not self.root.is_dir():
             return []
         documents: List[Dict[str, object]] = []
         for path in sorted(self.root.glob("*.json")):
             try:
-                with open(path) as fp:
-                    document = json.load(fp)
-            except (OSError, json.JSONDecodeError):
+                documents.append(self._load_document(path))
+            except RunStoreError as exc:
+                if warn:
+                    print(f"warning: skipping {exc}", file=sys.stderr)
                 continue
-            if (
-                isinstance(document, dict)
-                and str(document.get("schema", "")).startswith(
-                    "repro.obs.runstore/"
-                )
-            ):
-                documents.append(document)
         return documents
+
+    def load_run(self, run_id: str) -> Dict[str, object]:
+        """One run by exact id, or by unique id prefix.
+
+        A prefix that matches several runs, a missing id, or a corrupt
+        entry all raise :class:`RunStoreError` — direct addressing
+        (``repro-ffs diff <run-id>``) must fail loudly where bulk
+        listing degrades.
+        """
+        exact = self.root / f"{run_id}.json"
+        if exact.is_file():
+            return self._load_document(exact)
+        if self.root.is_dir():
+            matches = sorted(self.root.glob(f"{run_id}*.json"))
+            if len(matches) == 1:
+                return self._load_document(matches[0])
+            if len(matches) > 1:
+                names = ", ".join(p.stem for p in matches[:5])
+                raise RunStoreError(
+                    f"run id prefix {run_id!r} is ambiguous: {names}"
+                )
+        raise RunStoreError(
+            f"no recorded run {run_id!r} under {self.root}"
+        )
+
+
+def filter_runs(
+    runs: List[Dict[str, object]],
+    command: Optional[str] = None,
+    policy: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """``repro-ffs history``'s view: filtered, newest first.
+
+    ``command`` matches the recorded subcommand exactly; ``policy``
+    matches the run's recorded ``--policy`` config value exactly
+    (``ffs``/``realloc``/``both``), not the derived metric labels —
+    substring-matching labels would make ``ffs`` swallow
+    ``FFS + Realloc`` runs.  ``limit`` keeps the newest N after
+    filtering.  The input (the store's natural oldest-first order) is
+    not mutated.
+    """
+    kept: List[Dict[str, object]] = []
+    for document in reversed(runs):
+        if command is not None and document.get("command") != command:
+            continue
+        if policy is not None:
+            manifest = document.get("manifest")
+            manifest = manifest if isinstance(manifest, dict) else {}
+            config = manifest.get("config")
+            config = config if isinstance(config, dict) else {}
+            if config.get("policy") != policy:
+                continue
+        kept.append(document)
+        if limit is not None and len(kept) >= limit:
+            break
+    return kept
 
 
 def render_history(runs: List[Dict[str, object]]) -> str:

@@ -100,6 +100,48 @@ class TestCompareReports:
         assert "preset mismatch" in render_comparison(comparison)
 
 
+class TestSharedClassifier:
+    """The gate's verdicts route through repro.obs.diff.Classifier."""
+
+    def test_document_names_the_classifier_rules(self):
+        comparison = compare_reports(BASE, BASE, threshold=0.25)
+        assert comparison["classifier"]["rel_threshold"] == 0.25
+        assert comparison["classifier"]["abs_floor"] == DEFAULT_ABS_FLOOR_S
+
+    def test_rows_carry_significance_labels(self):
+        slow = _report("d", [
+            ("cold-serial", 14.0, {}),   # +40%: regression
+            ("warm-serial", 4.04, {}),   # +1%: noise
+        ])
+        comparison = compare_reports(BASE, slow, threshold=0.25)
+        labels = {r["name"]: r["label"] for r in comparison["passes"]}
+        assert labels == {"cold-serial": "regression",
+                          "warm-serial": "noise"}
+
+    def test_speedup_is_notable_never_regressed(self):
+        fast = _report("d", [("cold-serial", 5.0, {})])
+        comparison = compare_reports(BASE, fast, threshold=0.25)
+        row = comparison["passes"][0]
+        assert row["label"] == "notable" and not row["regressed"]
+        assert comparison["regressions"] == []
+
+    def test_throughput_shift_gets_its_own_label(self):
+        base = {
+            "schema": SCHEMA, "date": "a", "preset": "small", "jobs": 1,
+            "passes": [{"name": "cold-serial", "total_s": 10.0,
+                        "experiments": {"fig1": 4.0},
+                        "ops_per_sec": {"fig1": 1000.0}}],
+        }
+        current = json.loads(json.dumps(base))
+        current["passes"][0]["ops_per_sec"]["fig1"] = 800.0  # -20%
+        comparison = compare_reports(base, current)
+        entry = comparison["passes"][0]["experiments"][0]
+        # Throughput is higher-is-better: a drop is a regression label
+        # (diagnostic only — it never gates).
+        assert entry["ops_label"] == "regression"
+        assert comparison["regressions"] == []
+
+
 class TestFindAndLoad:
     def test_find_reports_orders_by_mtime(self, tmp_path):
         for i, name in enumerate(

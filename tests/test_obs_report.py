@@ -258,6 +258,86 @@ class TestNewSections:
             assert forbidden not in html
 
 
+class TestBoundedLogEdgeCases:
+    """Truncated event logs and pre-heatmap captures must degrade, not
+    raise: the EventLog ring buffer drops day samples under memory
+    pressure and old logs predate the per-CG vectors entirely."""
+
+    def _truncated_events(self):
+        # A bounded log: early days survived with CG vectors, later
+        # days lost them (emitted after the ring wrapped), and the
+        # log_truncated marker records the loss.
+        rows = []
+        for day in range(3):
+            row = {
+                "seq": day + 1, "type": "day_sample", "label": "FFS",
+                "day": day, "layout_score": 0.9 - 0.1 * day,
+                "utilization": 0.2 * (day + 1),
+            }
+            if day < 2:
+                row["cg_occupancy"] = [0.2, 0.4]
+                row["cg_frag"] = [0.1, 0.3]
+            rows.append(row)
+        rows.append({"seq": 99, "type": "log_truncated", "dropped": 7})
+        return rows
+
+    def test_heatmap_series_tolerates_missing_cg_vectors(self):
+        from repro.obs.heatmap import heatmap_series
+
+        series = heatmap_series(self._truncated_events())
+        assert len(series) == 1
+        # Only the days that carried vectors become matrix rows.
+        assert len(series[0].occupancy) == 2
+
+    def test_build_report_renders_a_truncated_mixed_log(self, manifest):
+        html = build_report(manifest, events=self._truncated_events())
+        assert "Layout score" in html
+        assert "Layout heatmaps" in html
+        assert "7 events dropped" in html
+
+    def test_diff_occupancy_delta_skips_vectorless_days(self):
+        from repro.obs.diff import RunArtifacts, diff_runs
+
+        base = {"schema": "repro.obs.manifest/v2", "command": "age"}
+        a = RunArtifacts("a", dict(base), events=self._truncated_events())
+        b = RunArtifacts("b", dict(base), events=self._truncated_events())
+        pair = diff_runs(a, b)["timeline"]["pairs"][0]
+        # Three shared days, but the delta matrix only keeps the two
+        # that carried vectors on both sides.
+        assert pair["days"] == [0, 1, 2]
+        assert pair["occupancy_delta"]["days"] == [0, 1]
+
+    def test_diff_timeline_without_any_cg_vectors(self, day_events):
+        from repro.obs.diff import RunArtifacts, diff_runs
+        from repro.obs.report_html import build_diff_report
+
+        base = {"schema": "repro.obs.manifest/v2", "command": "age"}
+        a = RunArtifacts("a", dict(base), events=list(day_events))
+        b = RunArtifacts("b", dict(base), events=list(day_events))
+        document = diff_runs(a, b)
+        for pair in document["timeline"]["pairs"]:
+            assert pair["occupancy_delta"] is None
+        html = build_diff_report(document)
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_diff_report_of_truncated_logs_is_self_contained(self):
+        from repro.obs.diff import RunArtifacts, diff_runs
+        from repro.obs.report_html import build_diff_report
+
+        base = {"schema": "repro.obs.manifest/v2", "command": "age"}
+        a = RunArtifacts("a", dict(base), events=self._truncated_events())
+        b_rows = self._truncated_events()
+        for row in b_rows:
+            if row.get("type") == "day_sample":
+                row["layout_score"] = 0.5
+        b = RunArtifacts("b", dict(base), events=b_rows)
+        html = build_diff_report(diff_runs(a, b))
+        for forbidden in ("http://", "https://", "<script", "@import",
+                          "url("):
+            assert forbidden not in html
+        assert "divergence" in html
+
+
 class TestReportCli:
     def test_report_subcommand_end_to_end(self, tmp_path, capsys):
         manifest = obs.RunManifest(command="experiment",

@@ -5,9 +5,13 @@ import json
 
 from repro import obs
 from repro.cli import main
+import pytest
+
+from repro.errors import RunStoreError
 from repro.obs.store import (
     SCHEMA,
     RunStore,
+    filter_runs,
     render_history,
     summarize_manifest,
 )
@@ -103,6 +107,104 @@ class TestRunStore:
     def test_missing_directory_is_empty_history(self, tmp_path):
         assert RunStore(tmp_path / "absent").runs() == []
 
+    def test_warn_surfaces_each_skipped_document(self, tmp_path, capsys):
+        root = tmp_path / "runs"
+        store = RunStore(root)
+        store.record(_manifest())
+        (root / "broken.json").write_text("{not json")
+        (root / "notes.json").write_text('{"schema": "something.else/v1"}')
+        runs = store.runs(warn=True)
+        assert len(runs) == 1
+        err = capsys.readouterr().err
+        assert "warning: skipping" in err
+        assert "broken.json" in err and "notes.json" in err
+
+    def test_default_listing_stays_silent(self, tmp_path, capsys):
+        root = tmp_path / "runs"
+        store = RunStore(root)
+        (root).mkdir()
+        (root / "broken.json").write_text("{not json")
+        assert store.runs() == []
+        assert capsys.readouterr().err == ""
+
+
+class TestLoadRun:
+    def _store(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        store.record(_manifest(started_at=1_700_000_001.0, command="age"))
+        store.record(_manifest(started_at=1_700_000_002.0,
+                               command="experiment"))
+        return store
+
+    def test_exact_id(self, tmp_path):
+        store = self._store(tmp_path)
+        run = store.load_run("1700000001000-age")
+        assert run["command"] == "age"
+
+    def test_unique_prefix_resolves(self, tmp_path):
+        store = self._store(tmp_path)
+        run = store.load_run("1700000002000")
+        assert run["command"] == "experiment"
+
+    def test_ambiguous_prefix_raises(self, tmp_path):
+        store = self._store(tmp_path)
+        with pytest.raises(RunStoreError, match="ambiguous"):
+            store.load_run("17000000")
+
+    def test_missing_id_raises(self, tmp_path):
+        store = self._store(tmp_path)
+        with pytest.raises(RunStoreError, match="no recorded run"):
+            store.load_run("nope")
+
+    def test_corrupt_document_raises_loudly(self, tmp_path):
+        store = self._store(tmp_path)
+        (store.root / "bad-run.json").write_text("{not json")
+        with pytest.raises(RunStoreError, match="corrupt"):
+            store.load_run("bad-run")
+
+
+class TestFilterRuns:
+    def _runs(self):
+        out = []
+        for i, (command, policy) in enumerate([
+            ("age", "ffs"), ("age", "realloc"),
+            ("experiment", None), ("age", "ffs"),
+        ]):
+            config = {"preset": "tiny"}
+            if policy is not None:
+                config["policy"] = policy
+            out.append({
+                "schema": SCHEMA, "id": f"r{i}", "command": command,
+                "started_at": 1_700_000_000.0 + i,
+                "manifest": {"config": config},
+            })
+        return out
+
+    def test_unfiltered_is_newest_first(self):
+        kept = filter_runs(self._runs())
+        assert [r["id"] for r in kept] == ["r3", "r2", "r1", "r0"]
+
+    def test_command_filter_is_exact(self):
+        kept = filter_runs(self._runs(), command="age")
+        assert [r["id"] for r in kept] == ["r3", "r1", "r0"]
+        assert filter_runs(self._runs(), command="ag") == []
+
+    def test_policy_filter_matches_config_not_labels(self):
+        kept = filter_runs(self._runs(), policy="ffs")
+        assert [r["id"] for r in kept] == ["r3", "r0"]
+        # "realloc" must not be swallowed by an "ffs" substring match.
+        kept = filter_runs(self._runs(), policy="realloc")
+        assert [r["id"] for r in kept] == ["r1"]
+
+    def test_limit_keeps_the_newest_n(self):
+        kept = filter_runs(self._runs(), command="age", limit=2)
+        assert [r["id"] for r in kept] == ["r3", "r1"]
+
+    def test_input_order_is_not_mutated(self):
+        runs = self._runs()
+        filter_runs(runs, limit=1)
+        assert [r["id"] for r in runs] == ["r0", "r1", "r2", "r3"]
+
 
 class TestRenderHistory:
     def test_empty_history_explains_how_to_start(self):
@@ -159,3 +261,51 @@ class TestHistoryCli:
         # always-present field is pinned here; the full summary path is
         # covered by TestSummarizeManifest.
         assert "wall_seconds" in runs[0]["summary"]
+
+    def test_history_filters_and_limit(self, tmp_path, capsys):
+        store = RunStore(tmp_path / "runs")
+        for i, command in enumerate(["age", "experiment", "age"]):
+            store.record(_manifest(
+                started_at=1_700_000_000.0 + i, command=command,
+            ))
+        assert main([
+            "history", "--runs-dir", str(store.root),
+            "--command", "age", "--limit", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # Newest matching run only.
+        assert [r["id"] for r in payload] == ["1700000002000-age"]
+
+    def test_history_rejects_a_zero_limit(self, tmp_path, capsys):
+        assert main([
+            "history", "--runs-dir", str(tmp_path), "--limit", "0",
+        ]) == 2
+        assert "--limit" in capsys.readouterr().err
+
+    def test_history_warns_about_corrupt_entries(self, tmp_path, capsys):
+        store = RunStore(tmp_path / "runs")
+        store.record(_manifest())
+        (store.root / "broken.json").write_text("{truncated")
+        assert main(["history", "--runs-dir", str(store.root)]) == 0
+        captured = capsys.readouterr()
+        assert "run history (1 recorded)" in captured.out
+        assert "warning: skipping" in captured.err
+
+    def test_history_drift_over_recorded_runs(self, tmp_path, capsys):
+        store = RunStore(tmp_path / "runs")
+        for i in range(3):
+            metrics = dict(_full_metrics())
+            metrics["replay.FFS.final_score"] = {
+                "type": "gauge", "value": 0.9 - 0.1 * i,
+            }
+            store.record(_manifest(
+                started_at=1_700_000_000.0 + i, metrics=metrics,
+            ))
+        assert main([
+            "history", "--runs-dir", str(store.root), "--drift", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.drift/v1"
+        trend = next(t for t in document["trends"]
+                     if t["metric"] == "layout_score[FFS]")
+        assert trend["label"] == "regression"
