@@ -32,7 +32,9 @@ from repro.analysis.layout import file_layout_score, optimal_pairs
 from repro.disk.geometry import DiskGeometry
 from repro.ffs.filesystem import FileSystem
 
-SCHEMA = "repro.inspect/v1"
+from repro import schemas
+
+SCHEMA = schemas.INSPECT
 
 __all__ = ["inspect_filesystem", "render_inspection", "render_comparison",
            "SCHEMA"]

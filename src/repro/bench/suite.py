@@ -28,9 +28,9 @@ import tempfile
 import time
 from typing import Dict, List, Optional
 
-from repro import cache
+from repro import cache, schemas
 
-SCHEMA = "repro.bench/v1"
+SCHEMA = schemas.BENCH
 
 
 def _one_pass(name: str, preset: str, jobs: int) -> Dict[str, object]:

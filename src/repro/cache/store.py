@@ -25,7 +25,9 @@ from repro.analysis.timeline import DailySample, Timeline
 from repro.cache.keys import CacheKey
 from repro.ffs.image import filesystem_from_document, filesystem_to_document
 
-SCHEMA = "repro.cache/v1"
+from repro import schemas
+
+SCHEMA = schemas.CACHE
 #: Bump to invalidate every existing entry (part of every key's hash).
 FORMAT_VERSION = 1
 

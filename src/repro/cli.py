@@ -589,6 +589,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--explain", metavar="RULE", default=None,
         help="print one rule's full documentation and exit",
     )
+    p_lint.add_argument(
+        "--graph-json", metavar="FILE", default=None,
+        help="also write the resolved whole-program call graph "
+        "(replint.graph/v1) to FILE",
+    )
     p_lint.set_defaults(handler=_cmd_lint, _no_telemetry=True)
 
     for sub_parser in (p_age, p_fsck, p_wl, p_exp, p_free, p_stats,
@@ -1314,7 +1319,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
     from repro import lint as replint
     from repro.lint.baseline import DEFAULT_BASELINE
-    from repro.lint.engine import collect_sources
+    from repro.lint.engine import collect_file_facts
 
     if args.list_rules:
         for rule in replint.all_rules():
@@ -1350,14 +1355,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             return 2
 
     try:
-        result = replint.lint_paths(paths, rules=rules, baseline=baseline)
+        result = replint.lint_paths(
+            paths,
+            rules=rules,
+            baseline=baseline,
+            export_graph=args.graph_json is not None,
+        )
     except FileNotFoundError as exc:
         print(f"lint: no such path: {exc}", file=sys.stderr)
         return 2
 
+    if args.graph_json:
+        graph_doc = result.graph_document or {}
+        Path(args.graph_json).write_text(
+            json_mod.dumps(graph_doc, indent=2) + "\n"
+        )
+        print(f"lint: wrote call graph to {args.graph_json}", file=sys.stderr)
+
     if args.update_baseline:
-        sources = collect_sources(paths)
-        new_baseline = replint.Baseline.from_findings(result.findings, sources)
+        sources, symbols = collect_file_facts(paths)
+        new_baseline = replint.Baseline.from_findings(
+            result.findings, sources, symbols
+        )
         new_baseline.dump(baseline_path)
         print(
             f"lint: wrote {len(new_baseline)} grandfathered finding(s) "

@@ -34,8 +34,10 @@ from repro.errors import InvalidRequestError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, sample_plans
 
+from repro import schemas
+
 #: Schema tag of the ``--json`` report.
-REPORT_SCHEMA = "repro.chaos/v1"
+REPORT_SCHEMA = schemas.CHAOS
 
 #: How many of the largest surviving files the throughput probe reads.
 THROUGHPUT_FILES = 10

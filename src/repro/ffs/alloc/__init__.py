@@ -33,7 +33,7 @@ def make_policy(name: str, superblock: Superblock) -> AllocPolicy:
         raise ValueError(
             f"unknown allocation policy {name!r}; choose from {sorted(POLICIES)}"
         ) from None
-    return cls(superblock)
+    return cls(superblock)  # replint: disable=R101  (POLICIES maps names to the two pure allocator classes above)
 
 
 __all__ = [

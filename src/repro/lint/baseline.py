@@ -6,27 +6,80 @@ breaks that deadlock: ``repro-ffs lint --update-baseline`` records the
 current findings in ``.replint-baseline.json``, the gate stays green,
 and the debt is paid down file by file — the baseline only shrinks.
 
-Fingerprinting is by ``(path, rule id, stripped source-line text)``
-rather than line number, so unrelated edits above a grandfathered
-finding do not un-suppress it, while any edit *to the flagged line
-itself* re-surfaces the finding (the text no longer matches).  Equal
+Fingerprinting (v2) is by ``(path, rule id, enclosing symbol path,
+stripped source-line text)`` rather than line number, so unrelated
+edits above a grandfathered finding do not un-suppress it, while any
+edit *to the flagged line itself* re-surfaces the finding (the text no
+longer matches).  The symbol component fixes the v1 fragility where
+two identical lines in different functions shared one fingerprint: a
+baseline entry recorded against ``Replayer._sample`` no longer absorbs
+a brand-new identical violation in some other function.  Equal
 fingerprints are counted, not set-deduplicated: a baseline with one
 entry absorbs one matching finding, not every identical one.
 """
 
 from __future__ import annotations
 
+import ast
 import json
 from collections import Counter
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import schemas
 from repro.lint.findings import PARSE_ERROR, Finding
 
-SCHEMA = "replint.baseline/v1"
+SCHEMA = schemas.LINT_BASELINE
 DEFAULT_BASELINE = ".replint-baseline.json"
 
-_Fingerprint = Tuple[str, str, str]
+#: ``(start line, end line, dotted symbol)`` spans, as produced by
+#: :func:`build_symbol_index`.  Spans nest; :func:`symbol_at` picks the
+#: innermost one.
+SymbolIndex = List[Tuple[int, int, str]]
+
+#: Symbol recorded for findings outside any def/class (or in a file
+#: that failed to parse, where no index exists).
+MODULE_SYMBOL = "<module>"
+
+_Fingerprint = Tuple[str, str, str, str]
+
+
+def build_symbol_index(tree: ast.AST) -> SymbolIndex:
+    """Map an AST to sorted ``(start, end, qualname)`` spans.
+
+    Qualnames are dotted through nesting (``Class.method``,
+    ``outer.inner``) without the module prefix — the path component of
+    the fingerprint already anchors the file.
+    """
+    spans: SymbolIndex = []
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                name = f"{prefix}.{child.name}" if prefix else child.name
+                end = getattr(child, "end_lineno", None) or child.lineno
+                spans.append((child.lineno, end, name))
+                walk(child, name)
+            else:
+                walk(child, prefix)
+
+    walk(tree, "")
+    spans.sort()
+    return spans
+
+
+def symbol_at(index: Sequence[Tuple[int, int, str]], line: int) -> str:
+    """Innermost symbol whose span contains ``line``."""
+    best = MODULE_SYMBOL
+    best_size = None
+    for start, end, name in index:
+        if start <= line <= end:
+            size = end - start
+            if best_size is None or size <= best_size:
+                best, best_size = name, size
+    return best
 
 
 class Baseline:
@@ -39,32 +92,45 @@ class Baseline:
         return sum(self._counts.values())
 
     @staticmethod
-    def _fingerprint(finding: Finding, source_lines: Sequence[str]) -> _Fingerprint:
+    def _fingerprint(
+        finding: Finding,
+        source_lines: Sequence[str],
+        symbols: Optional[Sequence[Tuple[int, int, str]]],
+    ) -> _Fingerprint:
         if 1 <= finding.line <= len(source_lines):
             text = source_lines[finding.line - 1].strip()
         else:
             text = ""
-        return (finding.path, finding.rule_id, text)
+        symbol = symbol_at(symbols, finding.line) if symbols else MODULE_SYMBOL
+        return (finding.path, finding.rule_id, symbol, text)
 
     @classmethod
     def from_findings(
-        cls, findings: Sequence[Finding], sources: Dict[str, Sequence[str]]
+        cls,
+        findings: Sequence[Finding],
+        sources: Dict[str, Sequence[str]],
+        symbols: Optional[Dict[str, SymbolIndex]] = None,
     ) -> "Baseline":
         """Build a baseline absorbing ``findings`` (``--update-baseline``).
 
-        ``sources`` maps repo-relative paths to their source lines.
-        Parse errors are never baselined.
+        ``sources`` maps repo-relative paths to their source lines and
+        ``symbols`` to their :func:`build_symbol_index` spans.  Parse
+        errors are never baselined.
         """
+        symbols = symbols or {}
         counts: Counter[_Fingerprint] = Counter()
         for finding in findings:
             if finding.rule_id == PARSE_ERROR:
                 continue
             lines = sources.get(finding.path, [])
-            counts[cls._fingerprint(finding, lines)] += 1
+            counts[cls._fingerprint(finding, lines, symbols.get(finding.path))] += 1
         return cls(counts)
 
     def filter(
-        self, findings: Sequence[Finding], sources: Dict[str, Sequence[str]]
+        self,
+        findings: Sequence[Finding],
+        sources: Dict[str, Sequence[str]],
+        symbols: Optional[Dict[str, SymbolIndex]] = None,
     ) -> Tuple[List[Finding], int]:
         """Drop findings covered by the baseline.
 
@@ -72,6 +138,7 @@ class Baseline:
         is a multiset subtraction: each baseline entry absorbs at most
         as many findings as its recorded count.
         """
+        symbols = symbols or {}
         budget = Counter(self._counts)
         surviving: List[Finding] = []
         suppressed = 0
@@ -79,7 +146,11 @@ class Baseline:
             if finding.rule_id == PARSE_ERROR:
                 surviving.append(finding)
                 continue
-            fp = self._fingerprint(finding, sources.get(finding.path, []))
+            fp = self._fingerprint(
+                finding,
+                sources.get(finding.path, []),
+                symbols.get(finding.path),
+            )
             if budget[fp] > 0:
                 budget[fp] -= 1
                 suppressed += 1
@@ -94,20 +165,34 @@ class Baseline:
             return cls()
         data = json.loads(path.read_text())
         if data.get("schema") != SCHEMA:
+            hint = ""
+            if data.get("schema") == "replint.baseline/v1":  # replint: disable=R102  (deliberate reference to the retired v1 tag for the migration hint)
+                hint = "; re-record it with --update-baseline"
             raise ValueError(
                 f"{path}: unknown baseline schema {data.get('schema')!r} "
-                f"(expected {SCHEMA})"
+                f"(expected {SCHEMA}){hint}"
             )
         counts: Counter[_Fingerprint] = Counter()
         for entry in data.get("findings", []):
-            fp = (entry["path"], entry["rule"], entry["line_text"])
+            fp = (
+                entry["path"],
+                entry["rule"],
+                entry.get("symbol", MODULE_SYMBOL),
+                entry["line_text"],
+            )
             counts[fp] += int(entry.get("count", 1))
         return cls(counts)
 
     def dump(self, path: Path) -> None:
         """Write the baseline file (sorted, so diffs are readable)."""
         entries = [
-            {"path": fp[0], "rule": fp[1], "line_text": fp[2], "count": count}
+            {
+                "path": fp[0],
+                "rule": fp[1],
+                "symbol": fp[2],
+                "line_text": fp[3],
+                "count": count,
+            }
             for fp, count in sorted(self._counts.items())
         ]
         payload = {"schema": SCHEMA, "findings": entries}

@@ -1,0 +1,81 @@
+"""Fixed-point dataflow over the call graph.
+
+The graph rules need whole-program facts — "can this function reach a
+clock read?", "what unit does this function return?" — that are defined
+recursively over callees.  With recursion (the call graph has cycles:
+``repair_filesystem`` ↔ ``check_filesystem``-style mutual calls, and
+self-recursive tree walks) a single bottom-up pass cannot compute them;
+this module runs the standard worklist algorithm instead.
+
+:func:`solve` makes only two demands of the per-function ``transfer``
+function, and both are the caller's responsibility to uphold:
+
+* **monotone** — re-running transfer with "bigger" callee facts may
+  only grow the result (for whatever order the fact lattice has);
+* **finite lattice** — each function's fact can change only finitely
+  many times.
+
+Under those rules the worklist terminates at the unique least fixed
+point.  Everything is iterated in sorted order (functions, callers), so
+a given tree always produces the identical solution — the analyzer is
+held to the same determinism bar it enforces.
+
+A defensive iteration cap turns a non-monotone transfer (a rule bug)
+into a loud :class:`FixedPointError` instead of a silent infinite loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, TypeVar
+
+from repro.lint.graph import CallGraph
+
+T = TypeVar("T")
+
+
+class FixedPointError(RuntimeError):
+    """The worklist failed to converge: the transfer is not monotone."""
+
+
+def solve(
+    graph: CallGraph,
+    initial: Callable[[str], T],
+    transfer: Callable[[str, Dict[str, T]], T],
+) -> Dict[str, T]:
+    """Compute the least fixed point of ``transfer`` over every function.
+
+    ``initial(qualname)`` seeds each function's fact;
+    ``transfer(qualname, facts)`` recomputes one function's fact from
+    the current fact map (reading its callees' entries).  When a fact
+    changes, every caller of that function is requeued.
+
+    Facts are compared with ``==`` to detect change, so fact types
+    should be simple values or frozen dataclasses/tuples.
+    """
+    order = sorted(graph.functions)
+    facts: Dict[str, T] = {name: initial(name) for name in order}
+    pending = deque(order)
+    queued = set(order)
+    # Each function can be recomputed at most (lattice height × callers)
+    # times; far less in practice.  The cap only exists to catch a
+    # non-monotone transfer, so it is generous.
+    cap = max(1000, 50 * len(order))
+    steps = 0
+    while pending:
+        steps += 1
+        if steps > cap:
+            raise FixedPointError(
+                f"dataflow failed to converge after {cap} steps; "
+                "the transfer function is not monotone"
+            )
+        name = pending.popleft()
+        queued.discard(name)
+        new_fact = transfer(name, facts)
+        if new_fact != facts[name]:
+            facts[name] = new_fact
+            for caller in graph.callers_of(name):
+                if caller not in queued:
+                    pending.append(caller)
+                    queued.add(caller)
+    return facts

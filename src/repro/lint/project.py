@@ -1,0 +1,58 @@
+"""Project-scope rules: whole-program context and the rule base class.
+
+The original replint rules see one module at a time.  The v2 rule
+families (R101–R104) judge properties that only exist at the project
+level — reachability, cross-module unit flow, registry-wide schema
+drift — so they subclass :class:`ProjectRule` and receive a
+:class:`ProjectContext` holding every parsed module plus the resolved
+call graph.
+
+Pragma suppression still works per line: the engine applies each file's
+pragma map to project-rule findings exactly as it does for module-rule
+findings, so ``# replint: disable=R101  (reason)`` at the flagged line
+waives a graph finding the same way it waives a syntactic one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.lint.findings import Finding
+from repro.lint.graph import CallGraph
+from repro.lint.pragmas import PragmaMap
+from repro.lint.registry import ModuleContext, Rule
+
+
+@dataclass
+class ProjectContext:
+    """Everything a project-scope rule can see."""
+
+    #: every parsed module, in collection (path-sorted) order
+    modules: List[ModuleContext]
+    #: the resolved whole-program call graph
+    graph: CallGraph
+    #: per-file pragma maps, keyed by repo-relative path — rules that
+    #: *seed* facts from already-waived sites (R101 honouring an R001
+    #: waiver) read these; final suppression is the engine's job
+    pragmas: Dict[str, PragmaMap] = field(default_factory=dict)
+
+    def module_by_name(self, dotted: str) -> "ModuleContext | None":
+        """Look up a parsed module by dotted name."""
+        return self.graph.modules.get(dotted)
+
+
+class ProjectRule(Rule):
+    """Base class for rules that analyze the whole project at once.
+
+    Subclasses implement :meth:`check_project`; the per-module
+    :meth:`check` is a no-op so a ProjectRule can sit in the same
+    registry, ``--select`` list, and ``--explain`` index as the
+    syntactic rules.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError

@@ -12,3 +12,10 @@ from repro.lint.rules import telemetry as _telemetry  # noqa: F401
 from repro.lint.rules import errors as _errors  # noqa: F401
 from repro.lint.rules import pickling as _pickling  # noqa: F401
 from repro.lint.rules import units as _units  # noqa: F401
+
+# v2 project-scope rules (whole-program graph + dataflow).  R104 must
+# import before R101, which reuses its set-iteration detector.
+from repro.lint.rules import iteration as _iteration  # noqa: F401
+from repro.lint.rules import graph_determinism as _graph_determinism  # noqa: F401
+from repro.lint.rules import schema_registry as _schema_registry  # noqa: F401
+from repro.lint.rules import units_flow as _units_flow  # noqa: F401

@@ -1,0 +1,245 @@
+"""R101 — transitive determinism: protected paths are *proven* clean.
+
+R001 checks each module in isolation; it can say "this file samples no
+clock" but not "nothing this function *calls* samples a clock".  R101
+closes that gap with the whole-program call graph: every function
+reachable from the determinism-critical roots must be provably free of
+nondeterminism, transitively.
+
+**Protected roots** — the three places where nondeterminism silently
+corrupts recorded results rather than merely changing output:
+
+* ``repro.cache.keys`` — cache-key construction.  A tainted key means
+  a stale artifact is served as if parameters matched.
+* ``repro.aging.replay`` — the aging engine.  A tainted replay means
+  the "same seed, same file system" contract is a lie.
+* ``repro.faults.plan`` — fault-plan sampling.  A tainted plan means a
+  crash scenario cannot be re-run.
+
+**Taint sources** inside any function reachable from those roots:
+
+* the R001 clock/entropy calls (``time.time``, ``os.urandom``,
+  ``datetime.now`` …) and calls into ``random``/``uuid``/``secrets``;
+* environment reads (``os.getenv``, ``os.environ.get``) — output would
+  depend on ambient process state, not ``(params, seed)``;
+* unsorted set iteration whose order escapes (R104's detector);
+* **dynamic call sites** — a call through a value the graph cannot
+  name.  These are reported as *unprovable*, not assumed clean: on a
+  protected path, "I can't see the callee" is itself the finding.
+
+``repro.rng`` and ``repro.obs`` are trust barriers (as in R001): edges
+stop there, their bodies are not scanned.
+
+Findings anchor at the offending call/iteration site — so a line
+pragma at the site works — and the message carries the call chain that
+makes the site protected, e.g.::
+
+    R101 call to 'time.time' taints a determinism-protected path:
+    repro.aging.replay.age_file_system -> repro.aging.replay.AgingReplayer.replay -> <site>
+
+A site already waived for R001 (taint calls) or R104 (set iteration)
+is honoured: the human-reviewed reason at the line covers the
+transitive claim too.  A dynamic site that is genuinely fine (a
+callback table of pure functions) is waived with its own pragma::
+
+    return _POLICIES[name](...)  # replint: disable=R101  (policy table holds only pure allocators)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.graph import DYNAMIC, CallGraph
+from repro.lint.project import ProjectContext, ProjectRule
+from repro.lint.registry import ModuleContext, register
+from repro.lint.rules.determinism import (
+    _BANNED_CALLS,
+    _BANNED_MODULES,
+    _EXEMPT_PACKAGES,
+    _ONE_ARG_SAMPLERS,
+    _ZERO_ARG_SAMPLERS,
+)
+from repro.lint.rules.iteration import unsorted_set_iterations
+
+#: Module prefixes whose functions are determinism-protected roots.
+PROTECTED_ROOTS = (
+    "repro.cache.keys",
+    "repro.aging.replay",
+    "repro.faults.plan",
+)
+
+#: Environment reads: ambient process state, not (params, seed).
+_ENV_CALLS = {"os.getenv", "os.environ.get"}
+
+
+def _is_exempt(qualname_or_module: str) -> bool:
+    return any(
+        qualname_or_module == pkg or qualname_or_module.startswith(pkg + ".")
+        for pkg in _EXEMPT_PACKAGES
+    )
+
+
+def _taints(dotted: str, nargs: int) -> bool:
+    """Does calling ``dotted`` with ``nargs`` args sample nondeterminism?
+
+    The clock/entropy predicate is R001's, extended with environment
+    reads and any call into a banned module (``random.random`` …).
+    """
+    if dotted in _BANNED_CALLS or dotted in _ENV_CALLS:
+        return True
+    if dotted in _ZERO_ARG_SAMPLERS and nargs == 0:
+        return True
+    if dotted in _ONE_ARG_SAMPLERS and nargs <= 1:
+        return True
+    return dotted.split(".", 1)[0] in _BANNED_MODULES
+
+
+def protected_reachable(
+    graph: CallGraph,
+) -> Tuple[Dict[str, Optional[str]], List[str]]:
+    """BFS from the protected roots over resolved edges.
+
+    Returns ``(parents, order)``: ``parents`` maps each reachable
+    function to its BFS predecessor (roots map to ``None``), ``order``
+    is the deterministic discovery order.  Exempt (barrier) functions
+    are recorded as reachable but not expanded.
+    """
+    roots = sorted(
+        q
+        for q in graph.functions
+        if any(q.startswith(p + ".") for p in PROTECTED_ROOTS)
+    )
+    parents: Dict[str, Optional[str]] = {r: None for r in roots}
+    order: List[str] = []
+    frontier = roots
+    while frontier:
+        nxt: Set[str] = set()
+        for name in frontier:
+            order.append(name)
+            if _is_exempt(graph.functions[name].module):
+                continue
+            for site in graph.sites(name):
+                for target in site.targets:
+                    if target not in parents and target in graph.functions:
+                        parents[target] = name
+                        nxt.add(target)
+        frontier = sorted(nxt)
+    return parents, order
+
+
+def trace_to_root(parents: Dict[str, Optional[str]], qualname: str) -> List[str]:
+    """The root-to-function call chain recorded by the BFS."""
+    chain: List[str] = []
+    cursor: Optional[str] = qualname
+    while cursor is not None:
+        chain.append(cursor)
+        cursor = parents.get(cursor)
+    return list(reversed(chain))
+
+
+@register
+class TransitiveDeterminismRule(ProjectRule):
+    __doc__ = __doc__
+
+    rule_id = "R101"
+    name = "transitive-determinism"
+    summary = (
+        "every function reachable from cache-key construction, aging "
+        "replay, and fault-plan sampling must be provably free of "
+        "clock/entropy/env/set-order nondeterminism"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        parents, order = protected_reachable(graph)
+        for qualname in order:
+            fn = graph.functions[qualname]
+            if _is_exempt(fn.module):
+                continue
+            module = project.module_by_name(fn.module)
+            if module is None:
+                continue
+            trace = " -> ".join(trace_to_root(parents, qualname))
+            yield from self._scan_function(project, module, qualname, trace)
+
+    # -- per-function scanning -----------------------------------------
+
+    def _scan_function(
+        self,
+        project: ProjectContext,
+        module: ModuleContext,
+        qualname: str,
+        trace: str,
+    ) -> Iterator[Finding]:
+        graph = project.graph
+        fn = graph.functions[qualname]
+        node = fn.node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+
+        # Taint calls, skipping nested defs (their own graph nodes).
+        for expr in self._own_nodes(node):
+            if isinstance(expr, ast.Call):
+                dotted = module.dotted(expr.func)
+                nargs = len(expr.args) + len(expr.keywords)
+                if dotted is not None and _taints(dotted, nargs):
+                    if self._waived(project, module, expr.lineno, "R001"):
+                        continue
+                    yield module.finding(
+                        self,
+                        expr,
+                        f"call to '{dotted}' taints a determinism-protected "
+                        f"path: {trace}",
+                    )
+
+        # Unsorted set iteration (R104's detector, escalated).
+        for site_node, what in unsorted_set_iterations(node):
+            line = getattr(site_node, "lineno", node.lineno)
+            if self._waived(project, module, line, "R104"):
+                continue
+            yield module.finding(
+                self,
+                site_node,
+                f"{what} inside '{qualname}' has nondeterministic order "
+                f"on a determinism-protected path: {trace}",
+            )
+
+        # Dynamic call sites: unprovable, which on this path is a finding.
+        for site in graph.sites(qualname):
+            if site.kind != DYNAMIC:
+                continue
+            anchor = site.node if site.node is not None else node
+            yield module.finding(
+                self,
+                anchor,
+                f"dynamic call '{site.callee_text}' cannot be proven "
+                f"deterministic on a protected path: {trace}",
+            )
+
+    @staticmethod
+    def _own_nodes(fn_node: ast.AST) -> Iterator[ast.AST]:
+        """Walk a function body without entering nested defs/classes."""
+        stack = list(ast.iter_child_nodes(fn_node))
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _waived(
+        project: ProjectContext, module: ModuleContext, line: int, rule_id: str
+    ) -> bool:
+        """Has a human already justified this site for the seed rule?"""
+        pragmas = project.pragmas.get(module.rel_path)
+        if pragmas is None:
+            return False
+        probe = Finding(
+            path=module.rel_path, line=line, col=1, rule_id=rule_id, message=""
+        )
+        return pragmas.suppresses(probe)

@@ -1,0 +1,217 @@
+"""R104 — iteration order: never iterate a set where order can matter.
+
+Python sets iterate in hash order, and for strings the hash is salted
+per process (``PYTHONHASHSEED``): two runs of the *same* binary on the
+*same* inputs can walk a set in different orders.  Any set iteration
+whose order reaches an output — a payload list, an event row, a cache
+key, a rendered table — therefore breaks the byte-identical guarantee
+in the least reproducible way possible: only across process boundaries,
+only sometimes.
+
+This rule flags iteration over expressions that are *statically known
+to be sets* (set literals, ``set()``/``frozenset()`` calls, set
+comprehensions, unions/intersections of known sets, and locals only
+ever assigned such values) when the iteration order can escape:
+
+* ``for x in some_set:`` statements;
+* list/dict comprehensions and generator expressions drawing from a
+  set (a *set* comprehension is fine — the result is unordered again);
+* ``list(s)`` / ``tuple(s)`` / ``enumerate(s)`` / ``iter(s)`` /
+  ``sep.join(s)`` conversions.
+
+Order-insensitive consumers are allowed: ``sorted(s)``, ``sum`` /
+``min`` / ``max`` / ``len`` / ``any`` / ``all``, and rebuilding a
+``set`` / ``frozenset``.  The fix is almost always ``sorted(...)`` at
+the iteration site::
+
+    for pair in sorted(tracked_pairs):   # deterministic
+        ...
+
+:mod:`repro.obs` is **not** exempt (unlike R001): telemetry may record
+wall-clock time, but the *rows it emits* still diff across runs, and a
+nondeterministically ordered event stream defeats run diffing.
+
+R101 reuses this module's detector: an unsorted set iteration inside a
+function reachable from cache-key construction or replay is escalated
+to a transitive-determinism finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple, Union
+
+from repro.lint.findings import Finding
+from repro.lint.registry import ModuleContext, Rule, register
+
+#: Builtins whose call result is a set.
+_SET_MAKERS = {"set", "frozenset"}
+
+#: Set methods returning another set.
+_SET_COMBINATORS = {
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+}
+
+#: Calls that consume an iterable without exposing its order.
+_ORDER_INSENSITIVE = {
+    "sorted", "sum", "min", "max", "len", "any", "all", "set", "frozenset",
+}
+
+#: Calls that materialize an iterable *in iteration order*.
+_ORDER_EXPOSING = {"list", "tuple", "enumerate", "iter"}
+
+_ScopeNode = Union[ast.Module, ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _scope_statements(scope: _ScopeNode) -> Iterator[ast.AST]:
+    """Every node in ``scope``, without descending into nested defs
+    (each def is its own scope with its own locals)."""
+    stack: List[ast.AST] = list(scope.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_expr(node: ast.AST, known: Set[str]) -> bool:
+    """Is ``node`` statically a set?  ``known`` holds set-typed locals."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in known
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SET_MAKERS:
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_COMBINATORS
+            and _is_set_expr(func.value, known)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, known) or _is_set_expr(node.right, known)
+    return False
+
+
+def _set_locals(scope: _ScopeNode) -> Set[str]:
+    """Locals that are sets on every assignment in ``scope``.
+
+    Classification is flow-insensitive (a name is a set only if *all*
+    its assignments produce sets) and iterated to a fixed point so
+    ``s = set(); s = s | other`` still classifies.
+    """
+    assigns: Dict[str, List[ast.AST]] = {}
+    for node in _scope_statements(scope):
+        targets: List[ast.expr] = []
+        value: ast.AST = node
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.AugAssign):
+            # s |= other keeps a set a set; any other augassign on a
+            # tracked name is recorded as a non-set write.
+            targets, value = [node.target], node.value
+            if isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+                value = ast.Set(elts=[])  # stands in for "still a set"
+        for target in targets:
+            if isinstance(target, ast.Name):
+                assigns.setdefault(target.id, []).append(value)
+    known: Set[str] = set()
+    while True:
+        grown = {
+            name
+            for name, values in assigns.items()
+            if all(_is_set_expr(v, known | {name}) for v in values)
+        }
+        if grown == known:
+            return known
+        known = grown
+
+
+def unsorted_set_iterations(
+    scope: _ScopeNode,
+) -> List[Tuple[ast.AST, str]]:
+    """Order-escaping set iterations in one scope.
+
+    Returns ``(anchor node, description)`` pairs, in source order.
+    Shared with R101, which escalates these sites on protected paths.
+    """
+    known = _set_locals(scope)
+    blessed: Set[int] = set()
+    out: List[Tuple[ast.AST, str]] = []
+    nodes = sorted(
+        _scope_statements(scope),
+        key=lambda n: (getattr(n, "lineno", 0), getattr(n, "col_offset", 0)),
+    )
+    # First pass: bless arguments of order-insensitive consumers, and
+    # the generators feeding them (sum(x for x in s) is order-free).
+    for node in nodes:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_INSENSITIVE
+        ):
+            for arg in node.args:
+                blessed.add(id(arg))
+                if isinstance(arg, ast.GeneratorExp):
+                    for gen in arg.generators:
+                        blessed.add(id(gen.iter))
+    for node in nodes:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_set_expr(node.iter, known) and id(node.iter) not in blessed:
+                out.append((node, "for-loop over a set"))
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            if id(node) in blessed:
+                continue
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, known) and id(gen.iter) not in blessed:
+                    out.append((node, "comprehension over a set"))
+                    break
+        elif isinstance(node, ast.Call):
+            func = node.func
+            exposing = (
+                isinstance(func, ast.Name) and func.id in _ORDER_EXPOSING
+            ) or (isinstance(func, ast.Attribute) and func.attr == "join")
+            if exposing and node.args and _is_set_expr(node.args[0], known):
+                name = func.id if isinstance(func, ast.Name) else "join"
+                out.append((node, f"{name}() over a set"))
+    return out
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[_ScopeNode]:
+    """The module scope plus every (possibly nested) function scope."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@register
+class IterationOrderRule(Rule):
+    __doc__ = __doc__
+
+    rule_id = "R104"
+    name = "iteration-order"
+    summary = (
+        "no iteration over sets where order can escape (loops, "
+        "comprehensions, list()/join()); wrap the set in sorted(...)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for scope in iter_scopes(module.tree):
+            for node, what in unsorted_set_iterations(scope):
+                yield module.finding(
+                    self,
+                    node,
+                    f"{what}: set iteration order is not deterministic "
+                    f"across processes; wrap in sorted(...)",
+                )

@@ -43,8 +43,10 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.export import bucket_quantiles
 
-SCHEMA = "repro.diff/v1"
-DRIFT_SCHEMA = "repro.drift/v1"
+from repro import schemas
+
+SCHEMA = schemas.DIFF
+DRIFT_SCHEMA = schemas.DRIFT
 
 #: Classification labels, from quietest to worst.
 NOISE = "noise"

@@ -53,7 +53,9 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional, TextIO
 
-SCHEMA = "repro.obs.disktrace/v1"
+from repro import schemas
+
+SCHEMA = schemas.DISKTRACE
 
 #: ``kind`` value of the synthetic final row the JSONL export appends
 #: when requests were dropped at the bound.

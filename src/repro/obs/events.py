@@ -24,7 +24,9 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional, TextIO
 
-SCHEMA = "repro.obs.events/v1"
+from repro import schemas
+
+SCHEMA = schemas.EVENTS
 
 #: One row per simulated aging day: layout score, utilization, and the
 #: free-space / per-CG occupancy summary (the Figure 1/2 signal).

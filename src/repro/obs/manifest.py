@@ -24,7 +24,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TextIO
 
-SCHEMA = "repro.obs.manifest/v2"
+from repro import schemas
+
+SCHEMA = schemas.MANIFEST
 
 __all__ = ["RunManifest", "environment_info", "SCHEMA"]
 

@@ -37,7 +37,9 @@ from repro.errors import RunStoreError
 from repro.obs.export import bucket_quantiles, write_json
 from repro.obs.manifest import RunManifest
 
-SCHEMA = "repro.obs.runstore/v1"
+from repro import schemas
+
+SCHEMA = schemas.RUNSTORE
 
 #: Default registry location, next to the artifact cache.
 DEFAULT_DIR = ".repro/runs"

@@ -10,6 +10,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import schemas
 from repro.cli import main
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -57,7 +58,7 @@ class TestOutputModes:
         write(tmp_path, "repro/bad.py", DIRTY)
         assert main(["lint", "--no-baseline", "--json", str(tmp_path)]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == "replint.report/v1"
+        assert payload["schema"] == schemas.LINT_REPORT
         assert payload["findings"][0]["rule"] == "R001"
         assert payload["findings"][0]["line"] == 2
 
@@ -112,5 +113,5 @@ class TestShippedTree:
     def test_committed_baseline_is_empty(self):
         baseline = REPO_ROOT / ".replint-baseline.json"
         payload = json.loads(baseline.read_text())
-        assert payload["schema"] == "replint.baseline/v1"
+        assert payload["schema"] == schemas.LINT_BASELINE
         assert payload["findings"] == []

@@ -2,8 +2,13 @@
 
 import json
 
-from repro.lint.baseline import Baseline
-from repro.lint.engine import collect_files, collect_sources, lint_paths
+from repro.lint.baseline import MODULE_SYMBOL, Baseline
+from repro.lint.engine import (
+    collect_file_facts,
+    collect_files,
+    collect_sources,
+    lint_paths,
+)
 from repro.lint.findings import Finding
 from repro.lint.pragmas import parse_pragmas
 from repro.lint.registry import get_rule
@@ -149,6 +154,95 @@ class TestBaseline:
 
     def test_missing_file_is_empty(self, tmp_path):
         assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+class TestBaselineSymbols:
+    """v2 fingerprints carry the enclosing symbol path.
+
+    The v1 fragility this fixes: two identical lines in different
+    functions shared one fingerprint, so a baseline entry recorded
+    against one function could absorb a brand-new violation in another.
+    """
+
+    DIRTY_OLD = (
+        "import time\n"
+        "def old():\n"
+        "    stamp = time.time()\n"
+    )
+    DIRTY_NEW = (
+        "import time\n"
+        "def old():\n"
+        "    pass\n"
+        "def new():\n"
+        "    stamp = time.time()\n"
+    )
+
+    def test_same_line_in_other_function_is_not_absorbed(self, tmp_path):
+        path = write(tmp_path, "repro/mod.py", self.DIRTY_OLD)
+        rules = [get_rule("R001")]
+        first = lint_paths([path], rules=rules, root=tmp_path)
+        assert len(first.findings) == 1
+        sources, symbols = collect_file_facts([path], root=tmp_path)
+        baseline = Baseline.from_findings(first.findings, sources, symbols)
+
+        # old() is fixed; an *identical* line appears in new().  The
+        # line text matches the baselined entry, but the symbol path
+        # differs — the new violation must surface.
+        path.write_text(self.DIRTY_NEW)
+        result = lint_paths([path], rules=rules, baseline=baseline, root=tmp_path)
+        assert len(result.findings) == 1
+        assert result.baseline_suppressed == 0
+
+    def test_same_function_still_absorbed_after_drift(self, tmp_path):
+        path = write(tmp_path, "repro/mod.py", self.DIRTY_OLD)
+        rules = [get_rule("R001")]
+        first = lint_paths([path], rules=rules, root=tmp_path)
+        sources, symbols = collect_file_facts([path], root=tmp_path)
+        baseline = Baseline.from_findings(first.findings, sources, symbols)
+
+        # Unrelated code above moves the function: same symbol, same
+        # line text, still grandfathered.
+        path.write_text("import time\n\nX = 1\n\ndef old():\n    stamp = time.time()\n")
+        result = lint_paths([path], rules=rules, baseline=baseline, root=tmp_path)
+        assert result.findings == []
+        assert result.baseline_suppressed == 1
+
+    def test_dump_records_symbol(self, tmp_path):
+        path = write(tmp_path, "repro/mod.py", self.DIRTY_OLD)
+        first = lint_paths([path], rules=[get_rule("R001")], root=tmp_path)
+        sources, symbols = collect_file_facts([path], root=tmp_path)
+        baseline = Baseline.from_findings(first.findings, sources, symbols)
+        out = tmp_path / "baseline.json"
+        baseline.dump(out)
+        payload = json.loads(out.read_text())
+        assert payload["findings"][0]["symbol"] == "old"
+
+    def test_nested_symbol_paths_are_dotted(self, tmp_path):
+        source = (
+            "import time\n"
+            "class C:\n"
+            "    def method(self):\n"
+            "        stamp = time.time()\n"
+        )
+        path = write(tmp_path, "repro/mod.py", source)
+        first = lint_paths([path], rules=[get_rule("R001")], root=tmp_path)
+        sources, symbols = collect_file_facts([path], root=tmp_path)
+        baseline = Baseline.from_findings(first.findings, sources, symbols)
+        out = tmp_path / "baseline.json"
+        baseline.dump(out)
+        payload = json.loads(out.read_text())
+        symbols_recorded = {e["symbol"] for e in payload["findings"]}
+        assert symbols_recorded == {"C.method"}
+        assert MODULE_SYMBOL not in symbols_recorded
+
+    def test_v1_baseline_rejected_with_hint(self, tmp_path):
+        import pytest
+
+        old = tmp_path / "baseline.json"
+        v1_tag = "replint.baseline" + "/v1"  # built, not literal: R102
+        old.write_text(json.dumps({"schema": v1_tag, "findings": []}))
+        with pytest.raises(ValueError, match="--update-baseline"):
+            Baseline.load(old)
 
     def test_schema_mismatch_rejected(self, tmp_path):
         bad = tmp_path / "bad.json"

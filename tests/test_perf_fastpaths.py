@@ -9,7 +9,7 @@ including identical error behaviour — after every step.
 
 from __future__ import annotations
 
-import random
+import random  # replint: disable=R001  (seeded test-local stream; repro.rng is the library-side rule)
 
 import pytest
 
