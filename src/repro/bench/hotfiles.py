@@ -19,8 +19,8 @@ from repro.analysis.layout import score_file_set
 from repro.bench.iomodel import FileIOPricer
 from repro.bench.timing import BenchmarkRunner, Measurement
 from repro.disk.geometry import DiskGeometry
-from repro.disk.model import DiskModel
 from repro.ffs.filesystem import FileSystem
+from repro.storage import make_storage
 from repro.ffs.inode import Inode
 
 
@@ -80,7 +80,7 @@ class HotFileBenchmark:
         hot_bytes = sum(i.size for i in hot)
 
         def timed_read(angle: float) -> float:
-            disk = DiskModel(self.geometry, initial_angle=angle)
+            disk = make_storage(self.geometry, initial_angle=angle)
             pricer = FileIOPricer(self.fs, disk)
             for inode in hot:
                 pricer.read_directory(self.fs.directory_of(inode.ino).name)
@@ -89,7 +89,7 @@ class HotFileBenchmark:
             return hot_bytes / (disk.now_ms / 1000.0)
 
         def timed_write(angle: float) -> float:
-            disk = DiskModel(self.geometry, initial_angle=angle)
+            disk = make_storage(self.geometry, initial_angle=angle)
             pricer = FileIOPricer(self.fs, disk)
             for inode in hot:
                 pricer.write_file_data(inode)

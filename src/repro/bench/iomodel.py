@@ -19,16 +19,21 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Set
 
-from repro.disk.model import DiskModel, IOKind
+from repro.disk.model import IOKind
 from repro.disk.request import Extent, extents_of_blocks
 from repro.ffs.filesystem import FileSystem
 from repro.ffs.inode import Inode
+from repro.storage import StorageModel
 
 
 class FileIOPricer:
-    """Prices reads/writes/creates of simulated files on one disk model."""
+    """Prices reads/writes/creates of simulated files on one storage model.
 
-    def __init__(self, fs: FileSystem, disk: DiskModel) -> None:
+    Backend-agnostic: ``disk`` is any :class:`~repro.storage.StorageModel`
+    (the mechanical disk or the FTL-backed SSD).
+    """
+
+    def __init__(self, fs: FileSystem, disk: StorageModel) -> None:
         self.fs = fs
         self.disk = disk
         self.params = fs.params
@@ -41,7 +46,7 @@ class FileIOPricer:
     def drop_caches(self) -> None:
         """Forget cached metadata (start of a benchmark phase)."""
         self._warm_metadata_blocks.clear()
-        self.disk.buffer.invalidate()
+        self.disk.drop_caches()
 
     # ------------------------------------------------------------------
     # Data transfers

@@ -24,9 +24,10 @@ from repro.analysis.layout import score_file_set
 from repro.bench.iomodel import FileIOPricer
 from repro.bench.timing import BenchmarkRunner, Measurement
 from repro.disk.geometry import DiskGeometry
-from repro.disk.model import DiskModel, IOKind
+from repro.disk.model import IOKind
 from repro.errors import InvalidRequestError
 from repro.ffs.filesystem import FileSystem
+from repro.storage import make_storage
 from repro.units import MB
 
 
@@ -83,7 +84,7 @@ class SequentialIOBenchmark:
         # only disk-model arithmetic.
         params = self.fs.params
         block_size = params.block_size
-        probe = FileIOPricer(self.fs, DiskModel(self.geometry))
+        probe = FileIOPricer(self.fs, make_storage(self.geometry))
         plan = []  # (inode_block, dir_block, read_inode_block?, extents)
         warm: Set[int] = set()
         for ino in inos:
@@ -104,7 +105,7 @@ class SequentialIOBenchmark:
             plan.append((inode_block, dir_block, read_block, extents))
 
         def timed_write(angle: float) -> float:
-            disk = DiskModel(self.geometry, initial_angle=angle)
+            disk = make_storage(self.geometry, initial_angle=angle)
             sync_write = disk.synchronous_metadata_write
             transfer = disk.transfer_extents
             for inode_block, dir_block, _read_block, extents in plan:
@@ -114,7 +115,7 @@ class SequentialIOBenchmark:
             return data_bytes / (disk.now_ms / 1000.0)
 
         def timed_read(angle: float) -> float:
-            disk = DiskModel(self.geometry, initial_angle=angle)
+            disk = make_storage(self.geometry, initial_angle=angle)
             access = disk.access
             transfer = disk.transfer_extents
             for _inode_block, _dir_block, read_block, extents in plan:

@@ -28,7 +28,7 @@ import tempfile
 import time
 from typing import Dict, List, Optional
 
-from repro import cache, schemas
+from repro import cache, schemas, storage
 
 SCHEMA = schemas.BENCH
 
@@ -97,6 +97,9 @@ def run_bench(
         "schema": SCHEMA,
         "date": time.strftime("%Y-%m-%d"),  # replint: disable=R001  (report date stamp is inherently wall-clock)
         "preset": preset,
+        # Timings from different storage substrates are not comparable;
+        # `bench --compare` refuses to diff across backends.
+        "backend": storage.current_backend(),
         "jobs": jobs,
         # --jobs can only beat serial with cores to spread across;
         # recorded so the numbers are interpretable later.
@@ -115,7 +118,9 @@ def run_bench(
 def render_report(report: Dict[str, object]) -> str:
     """Human summary of a bench report (the JSON stays the record)."""
     lines = [
-        f"bench: preset={report['preset']} jobs={report['jobs']} "
+        f"bench: preset={report['preset']} "
+        f"backend={report.get('backend', storage.DEFAULT_BACKEND)} "
+        f"jobs={report['jobs']} "
         f"cpus={report.get('cpu_count', '?')} ({report['date']})"
     ]
     for p in report["passes"]:  # type: ignore[union-attr]

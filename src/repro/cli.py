@@ -42,6 +42,11 @@ unless one of those flags is given.  Subcommands that age file systems
 also take ``--no-cache`` / ``--cache-dir DIR`` to control the
 persistent artifact cache (see :mod:`repro.cache`), and ``experiment
 all`` takes ``--jobs N`` to fan the suite across worker processes.
+``experiment``, ``bench``, ``chaos``, and ``inspect`` take ``--backend
+disk|ssd`` to price I/O on the rotating disk (default) or the
+FTL-backed flash substrate (see :mod:`repro.ssd`); the selection joins
+the run manifest, the cache key lineage, and bench reports, and
+``bench --compare`` refuses to diff reports from different backends.
 """
 
 from __future__ import annotations
@@ -51,12 +56,13 @@ import sys
 import time
 from typing import List, Optional
 
-from repro import cache, obs
+from repro import cache, obs, storage
 from repro.analysis.freespace import free_cluster_histogram, free_space_stats
 from repro.analysis.report import render_disk_stats, render_table
 from repro.experiments.config import PRESETS, aged, artifacts, get_preset
 from repro.experiments.runner import (
     EXPERIMENTS,
+    EXTRA_EXPERIMENTS,
     experiment_header,
     iter_all_rendered,
     run_one_timed,
@@ -87,6 +93,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         enabled=False if getattr(args, "no_cache", False) else None,
         directory=getattr(args, "cache_dir", None),
     )
+    storage.configure(getattr(args, "backend", None))
     wants_telemetry = (
         getattr(args, "metrics", None)
         or getattr(args, "trace", None)
@@ -293,8 +300,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment", help="run a paper experiment")
     _add_preset(p_exp)
     p_exp.add_argument(
-        "name", choices=sorted(EXPERIMENTS) + ["all"],
-        help="experiment to run",
+        "name",
+        choices=sorted({**EXPERIMENTS, **EXTRA_EXPERIMENTS}) + ["all"],
+        help="experiment to run (`all` runs the paper suite; extras "
+        "like `flash` run only by name)",
     )
     p_exp.add_argument(
         "--csv", metavar="FILE", default=None,
@@ -602,6 +611,8 @@ def _build_parser() -> argparse.ArgumentParser:
     for sub_parser in (p_age, p_wl, p_exp, p_free, p_abl, p_prof,
                        p_cache, p_bench, p_chaos, p_insp):
         _add_cache_flags(sub_parser)
+    for sub_parser in (p_exp, p_bench, p_chaos, p_insp):
+        _add_backend(sub_parser)
     return parser
 
 
@@ -646,6 +657,16 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--runs-dir", metavar="DIR", default=None,
         help="run registry location for --record (default: .repro/runs/)",
+    )
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=list(storage.BACKENDS),
+        default=storage.DEFAULT_BACKEND,
+        help="storage substrate the run prices I/O on: the Table 1 "
+        "rotating disk or the FTL-backed flash device (default: "
+        f"{storage.DEFAULT_BACKEND})",
     )
 
 
@@ -1049,6 +1070,15 @@ def _bench_compare(args: argparse.Namespace) -> int:
         current = load_report(current_path)
     except (OSError, ValueError) as exc:
         print(f"bench --compare: {exc}", file=sys.stderr)
+        return 2
+    backend_a = baseline.get("backend", storage.DEFAULT_BACKEND)
+    backend_b = current.get("backend", storage.DEFAULT_BACKEND)
+    if backend_a != backend_b:
+        print(
+            f"bench --compare: backend mismatch ({backend_a} vs "
+            f"{backend_b}); cross-backend timings are not comparable",
+            file=sys.stderr,
+        )
         return 2
     comparison = compare_reports(baseline, current, threshold=threshold)
     print(f"baseline: {baseline_path}")

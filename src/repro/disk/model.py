@@ -108,6 +108,14 @@ class DiskModel:
         self.buffer.prefetch(ms)
         self.now_ms += ms
 
+    def drop_caches(self) -> None:
+        """Start-of-phase cache drop: forget the track buffer.
+
+        Backend-generic entry point (part of the ``StorageModel``
+        protocol); the SSD twin makes this a no-op.
+        """
+        self.buffer.invalidate()
+
     # ------------------------------------------------------------------
     # Low-level single-request timing
     # ------------------------------------------------------------------

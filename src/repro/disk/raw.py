@@ -11,8 +11,11 @@ slightly imperfect layout can beat it.
 
 from __future__ import annotations
 
+# Module-style import: repro.storage imports repro.disk submodules, so a
+# from-import here would trip the package-initialisation cycle.
+from repro import storage
 from repro.disk.geometry import DiskGeometry
-from repro.disk.model import DiskModel, IOKind
+from repro.disk.model import IOKind
 
 
 def _raw_throughput(
@@ -23,7 +26,7 @@ def _raw_throughput(
     initial_angle: float = 0.0,
 ) -> float:
     geometry = geometry if geometry is not None else DiskGeometry()
-    model = DiskModel(geometry, initial_angle=initial_angle)
+    model = storage.make_storage(geometry, initial_angle=initial_angle)
     chunk = geometry.max_transfer_bytes
     offset = start_byte
     remaining = total_bytes

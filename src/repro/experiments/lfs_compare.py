@@ -26,11 +26,12 @@ from typing import Dict, List
 from repro.analysis.report import render_chart, render_table
 from repro.analysis.timeline import Timeline
 from repro.bench.timing import BenchmarkRunner
-from repro.disk.model import DiskModel, IOKind
+from repro.disk.model import IOKind
 from repro.disk.request import extents_of_blocks
 from repro.experiments.config import aged, artifacts, get_preset
 from repro.lfs.params import LFSParams
 from repro.lfs.replay import age_lfs
+from repro.storage import make_storage
 from repro.units import MB
 
 
@@ -140,7 +141,7 @@ def _hot_read_throughput(hot_files, block_size: int, runner) -> float:
         return 0.0
 
     def timed(angle: float) -> float:
-        disk = DiskModel(initial_angle=angle)
+        disk = make_storage(initial_angle=angle)
         for inode in hot:
             extents = extents_of_blocks(inode.data_block_list(), block_size)
             disk.transfer_extents(IOKind.READ, extents, block_size)

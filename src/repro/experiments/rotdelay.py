@@ -30,9 +30,9 @@ from repro.analysis.report import render_table
 from repro.bench.iomodel import FileIOPricer
 from repro.bench.timing import BenchmarkRunner
 from repro.disk.geometry import DiskGeometry
-from repro.disk.model import DiskModel
 from repro.experiments.config import get_preset
 from repro.ffs.filesystem import FileSystem
+from repro.storage import make_storage
 from repro.units import KB, MB
 
 
@@ -96,7 +96,7 @@ def run(preset: str = "small", file_size: int = 96 * KB) -> RotdelayResult:
         total = sum(fs.inode(i).size for i in inos)
 
         def timed(angle: float, geometry, unclustered: bool) -> float:
-            disk = DiskModel(geometry, initial_angle=angle)
+            disk = make_storage(geometry, initial_angle=angle)
             pricer = FileIOPricer(fs, disk)
             for ino in inos:
                 inode = fs.inode(ino)

@@ -29,12 +29,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.iomodel import FileIOPricer
-from repro.disk.model import DiskModel
 from repro.errors import InvalidRequestError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, sample_plans
 
-from repro import schemas
+from repro import schemas, storage
 
 #: Schema tag of the ``--json`` report.
 REPORT_SCHEMA = schemas.CHAOS
@@ -180,7 +179,7 @@ def _read_throughput(fs, n_files: int = THROUGHPUT_FILES) -> float:
     inodes = sorted(largest, key=lambda i: i.ino)
     if not inodes:
         return 0.0
-    disk = DiskModel()
+    disk = storage.make_storage()
     pricer = FileIOPricer(fs, disk)
     total = 0
     for inode in inodes:
@@ -198,9 +197,18 @@ def _read_throughput(fs, n_files: int = THROUGHPUT_FILES) -> float:
 
 
 def _chaos_case_task(
-    preset_name: str, policy: str, plan_payload: Dict[str, Any]
+    preset_name: str,
+    policy: str,
+    plan_payload: Dict[str, Any],
+    backend: str = storage.DEFAULT_BACKEND,
 ) -> Dict[str, Any]:
-    """One case in a worker process; ships the outcome home as JSON."""
+    """One case in a worker process; ships the outcome home as JSON.
+
+    The parent's storage-backend selection is process-wide state, so it
+    is re-applied here — a ``--jobs N`` chaos run prices its throughput
+    probes on the same substrate as a serial one.
+    """
+    storage.configure(backend)
     return run_case(
         preset_name, policy, FaultPlan.from_payload(plan_payload)
     ).to_dict()
@@ -248,7 +256,8 @@ def run_chaos(
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
                 pool.submit(
-                    _chaos_case_task, preset_name, policy, plan.to_payload()
+                    _chaos_case_task, preset_name, policy, plan.to_payload(),
+                    storage.current_backend(),
                 )
                 for policy, plan in cases
             ]

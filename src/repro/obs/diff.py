@@ -129,6 +129,11 @@ _LOWER_IS_BETTER = (
     "free_runs",
     "error",
     "distance",
+    # Flash substrate (repro.ssd): device wear and GC traffic.
+    "write_amplification",
+    "erase",
+    "map_miss",
+    "gc_moved",
 )
 
 
@@ -292,6 +297,7 @@ def _side_info(side: RunArtifacts) -> Dict[str, object]:
         "command": manifest.get("command"),
         "preset": config.get("preset"),
         "policy": config.get("policy"),
+        "backend": config.get("backend"),
         "schema": manifest.get("schema"),
         "wall_seconds": manifest.get("wall_seconds"),
     }
@@ -476,11 +482,27 @@ def _diff_summaries(
             continue  # already classified under meta
         if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
             sink.add("summary", key, va, vb, direction=lower_is_better(key))
-    return {
+    # Flash-substrate numbers ride along verbatim so renderers can show
+    # them even when only one side ran on --backend ssd (a disk-vs-ssd
+    # diff has no shared key to classify, but the values still matter).
+    ssd_keys = ("write_amplification", "flash_erases", "gc_moved_pages",
+                "ssd_throughput_mb_s")
+    ssd = {
+        tag: {
+            key: side[key]
+            for key in ssd_keys
+            if isinstance(side.get(key), (int, float))
+        }
+        for tag, side in (("a", sa), ("b", sb))
+    }
+    out: Dict[str, object] = {
         "score_pairs": [[la, lb] for la, lb in pairs],
         "only_a": sorted(set(sa) - set(sb)),
         "only_b": sorted(set(sb) - set(sa)),
     }
+    if ssd["a"] or ssd["b"]:
+        out["ssd"] = ssd
+    return out
 
 
 def _day_samples(
@@ -775,7 +797,7 @@ def render_diff(document: Dict[str, object]) -> str:
 
     def side_line(tag: str, side: Mapping[str, object]) -> str:
         bits = [f"repro-ffs {side.get('command', '?')}"]
-        for key in ("preset", "policy"):
+        for key in ("preset", "policy", "backend"):
             if side.get(key):
                 bits.append(f"{key} {side[key]}")
         wall = side.get("wall_seconds")
@@ -881,7 +903,9 @@ def _drift_series(
                     series.setdefault(
                         f"layout_score[{label}]", []
                     ).append(float(value))
-        for key in ("throughput_mb_s", "lost_rotations", "seek_p99_ms"):
+        for key in ("throughput_mb_s", "lost_rotations", "seek_p99_ms",
+                    "write_amplification", "flash_erases",
+                    "ssd_throughput_mb_s"):
             value = summary.get(key)
             if isinstance(value, (int, float)):
                 series.setdefault(key, []).append(float(value))

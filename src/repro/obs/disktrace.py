@@ -41,6 +41,10 @@ Row fields (one JSON object per request, in service order):
     Section 5.1 "lost rotation" signature.
 ``buf_hit``
     True when the track buffer served (part of) a read.
+``gc_ms`` / ``map_misses``
+    SSD-backend extras: the garbage-collection pause embedded in the
+    request and the mapping-cache faults it took.  Absent on
+    disk-backend rows, whose serialisation is unchanged.
 
 The trace is wired into :class:`repro.disk.model.DiskModel` through the
 same construction-time ``*_or_none`` façade discipline as every other
@@ -89,12 +93,21 @@ class DiskTrace:
         service_ms: float,
         lost_rot: bool,
         buf_hit: bool,
+        *,
+        gc_ms: "float | None" = None,
+        map_misses: "int | None" = None,
     ) -> Optional[Dict[str, object]]:
         """Append one request row; returns it (or None when dropped).
 
         Millisecond fields are rounded to 4 decimals: enough for any
         timing analysis, and it keeps the serialised trace compact and
         bit-stable across platforms.
+
+        ``gc_ms`` and ``map_misses`` are the SSD backend's extras — the
+        garbage-collection pause embedded in the request and the
+        mapping-cache faults it took.  They join the row only when
+        provided, so disk-backend traces are byte-identical to traces
+        recorded before these fields existed.
         """
         self._seq += 1
         if len(self._rows) >= self.max_requests:
@@ -114,6 +127,10 @@ class DiskTrace:
             "lost_rot": lost_rot,
             "buf_hit": buf_hit,
         }
+        if gc_ms is not None:
+            row["gc_ms"] = round(gc_ms, 4)
+        if map_misses is not None:
+            row["map_misses"] = map_misses
         self._rows.append(row)
         return row
 

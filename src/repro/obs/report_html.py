@@ -1013,6 +1013,7 @@ def _diff_header_section(document: Dict[str, object]) -> str:
             f"<td>repro-ffs {_esc(side.get('command', '?'))}</td>"
             f"<td>{_esc(side.get('preset') or '-')}</td>"
             f"<td>{_esc(side.get('policy') or '-')}</td>"
+            f"<td>{_esc(side.get('backend') or '-')}</td>"
             f'<td class="num">'
             f"{_esc(_fmt_wall(side.get('wall_seconds')))}</td></tr>"  # type: ignore[arg-type]
         )
@@ -1030,7 +1031,7 @@ def _diff_header_section(document: Dict[str, object]) -> str:
         f"{badge}</p></header>"
         "<section><table>"
         "<tr><th></th><th>run</th><th>command</th><th>preset</th>"
-        '<th>policy</th><th class="num">wall</th></tr>'
+        '<th>policy</th><th>backend</th><th class="num">wall</th></tr>'
         f"{side_row('a', a)}{side_row('b', b)}</table></section>"
     )
 
@@ -1208,6 +1209,73 @@ def _diff_placement_section(document: Dict[str, object]) -> str:
     )
 
 
+#: Summary keys distilled from ``--backend ssd`` runs (see
+#: :func:`repro.obs.store.summarize_manifest`), in panel order.
+_SSD_SUMMARY_KEYS = (
+    ("write_amplification", "write amplification"),
+    ("flash_erases", "block erases"),
+    ("gc_moved_pages", "GC pages migrated"),
+    ("ssd_throughput_mb_s", "device throughput (MB/s)"),
+)
+
+
+def _diff_ssd_section(document: Dict[str, object]) -> str:
+    """Flash-substrate panel: WA / erase-wear values and deltas, shown
+    whenever either side recorded SSD summary numbers (a disk-vs-ssd
+    diff still shows the flash side's wear, with no classified delta)."""
+    summary = document.get("summary")
+    summary = summary if isinstance(summary, dict) else {}
+    ssd = summary.get("ssd")
+    ssd = ssd if isinstance(ssd, dict) else {}
+    side_a = ssd.get("a") if isinstance(ssd.get("a"), dict) else {}
+    side_b = ssd.get("b") if isinstance(ssd.get("b"), dict) else {}
+    deltas = document.get("deltas")
+    deltas = deltas if isinstance(deltas, list) else []
+    by_name = {
+        str(r.get("name")): r
+        for r in deltas
+        if isinstance(r, dict) and r.get("section") == "summary"
+    }
+    rows = []
+    for key, title in _SSD_SUMMARY_KEYS:
+        va = side_a.get(key)
+        vb = side_b.get(key)
+        if va is None and vb is None:
+            continue
+        r = by_name.get(key)
+        if r is not None:
+            delta = r.get("delta")
+            sign = (
+                "+" if isinstance(delta, (int, float)) and delta >= 0 else ""
+            )
+            delta_cell = f"{sign}{_nice(delta)}"
+            label_cell = (
+                f'<span class="lab lab-{_esc(r.get("label"))}">'
+                f"{_esc(r.get('label'))}</span>"
+            )
+        else:
+            delta_cell = "-"
+            label_cell = ""
+        rows.append(
+            f"<tr><td>{_esc(title)}</td>"
+            f'<td class="num">{_nice(va) if va is not None else "-"}</td>'
+            f'<td class="num">{_nice(vb) if vb is not None else "-"}</td>'
+            f'<td class="num">{delta_cell}</td>'
+            f"<td>{label_cell}</td></tr>"
+        )
+    if not rows:
+        return ""
+    return (
+        "<section><h2>Flash substrate (FTL)</h2><table>"
+        '<tr><th>metric</th><th class="num">a</th><th class="num">b</th>'
+        '<th class="num">delta</th><th></th></tr>'
+        f"{''.join(rows)}</table>"
+        '<p class="note">write amplification = flash page programs / '
+        "host pages written; erases and migrations are the GC traffic "
+        "behind it.</p></section>"
+    )
+
+
 def _diff_config_section(document: Dict[str, object]) -> str:
     meta = document.get("meta")
     meta = meta if isinstance(meta, dict) else {}
@@ -1252,6 +1320,7 @@ def build_diff_report(document: Dict[str, object]) -> str:
     sections = [
         _diff_header_section(document),
         _diff_deltas_section(document),
+        _diff_ssd_section(document),
         _diff_timeline_section(document),
         _diff_histograms_section(document),
         _diff_placement_section(document),

@@ -96,6 +96,24 @@ def summarize_manifest(manifest: RunManifest) -> Dict[str, object]:
         quantiles = bucket_quantiles(dist_hist)
         summary["seek_distance_p50_cyl"] = quantiles["p50"]
         summary["seek_distance_p99_cyl"] = quantiles["p99"]
+    # Flash-substrate runs (--backend ssd) carry their own headline
+    # numbers: device wear and GC traffic instead of seeks.
+    host_pages = counter("ssd.host_pages_written")
+    programs = counter("ssd.flash_programs")
+    if host_pages and programs is not None:
+        summary["write_amplification"] = round(programs / host_pages, 4)
+    erases = counter("ssd.flash_erases")
+    if erases is not None:
+        summary["flash_erases"] = int(erases)
+    moved = counter("ssd.gc_moved_pages")
+    if moved is not None:
+        summary["gc_moved_pages"] = int(moved)
+    ssd_busy = counter("ssd.busy_ms")
+    ssd_read = counter("ssd.bytes_read")
+    ssd_written = counter("ssd.bytes_written")
+    if ssd_busy and ssd_read is not None and ssd_written is not None:
+        mb = (ssd_read + ssd_written) / (1024.0 * 1024.0)
+        summary["ssd_throughput_mb_s"] = round(mb / (ssd_busy / 1000.0), 3)
     if manifest.wall_seconds is not None:
         summary["wall_seconds"] = round(manifest.wall_seconds, 3)
     return summary
@@ -126,6 +144,7 @@ class RunStore:
             "id": run_id,
             "command": manifest.command,
             "preset": config.get("preset"),
+            "backend": config.get("backend"),
             "started_at": manifest.started_at,
             "summary": summarize_manifest(manifest),
             "manifest": manifest.to_dict(),

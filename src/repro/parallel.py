@@ -48,7 +48,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro import cache, obs
+from repro import cache, obs, storage
 from repro.obs import events as obs_events
 
 #: The agings ``experiment all`` depends on, as (accessor, policy) pairs.
@@ -68,11 +68,19 @@ _AFFINITY: Tuple[Tuple[str, ...], ...] = (("fig4", "fig5", "fig6"),)
 # ----------------------------------------------------------------------
 
 
-def _worker_setup(cache_enabled: bool, cache_dir: str) -> None:
-    """Pin the worker's cache view to the parent's resolved settings."""
+def _worker_setup(
+    cache_enabled: bool, cache_dir: str, backend: str = storage.DEFAULT_BACKEND
+) -> None:
+    """Pin the worker's cache and storage view to the parent's settings.
+
+    Both are process-wide state, so a pooled worker must re-apply them:
+    a ``--backend ssd`` parallel run prices I/O on the same substrate
+    (and caches under the same lineage) as its serial twin.
+    """
     cache.configure(
         enabled=cache_enabled, directory=cache_dir if cache_enabled else None
     )
+    storage.configure(backend)
 
 
 def _telemetry_payload(registry, tracer) -> Dict[str, object]:
@@ -99,11 +107,12 @@ def _warm_aging_task(
     telemetry: bool,
     events: bool,
     disktrace: bool = False,
+    backend: str = storage.DEFAULT_BACKEND,
 ) -> Dict[str, object]:
     """Build (and persist) one aged file system in a worker."""
     from repro.experiments import config
 
-    _worker_setup(cache_enabled, cache_dir)
+    _worker_setup(cache_enabled, cache_dir, backend)
     start = time.perf_counter()
     if not telemetry:
         _run_accessor(config, accessor, policy, preset)
@@ -134,12 +143,13 @@ def _experiment_group_task(
     telemetry: bool,
     events: bool,
     disktrace: bool = False,
+    backend: str = storage.DEFAULT_BACKEND,
 ) -> Dict[str, object]:
     """Run one affinity group of experiments in a worker, in order."""
     from repro.experiments import config
     from repro.experiments.runner import run_one_timed
 
-    _worker_setup(cache_enabled, cache_dir)
+    _worker_setup(cache_enabled, cache_dir, backend)
 
     def _run_group() -> Dict[str, Dict[str, object]]:
         out: Dict[str, Dict[str, object]] = {}
@@ -214,6 +224,7 @@ def iter_all_parallel(
 
     cache_enabled = cache.is_enabled()
     cache_dir = str(cache.directory())
+    backend = storage.current_backend()
     telemetry = obs.enabled()
     events_on = obs.events_or_none() is not None
     disktrace_on = obs.disktrace_or_none() is not None
@@ -230,7 +241,7 @@ def iter_all_parallel(
                 pool.submit(
                     _warm_aging_task, accessor, policy, preset,
                     cache_enabled, cache_dir, telemetry, events_on,
-                    disktrace_on,
+                    disktrace_on, backend,
                 )
                 for accessor, policy in _AGING_TASKS
             ]
@@ -250,7 +261,7 @@ def iter_all_parallel(
                 futures[group] = pool.submit(
                     _experiment_group_task, group, preset,
                     cache_enabled, cache_dir, telemetry, events_on,
-                    disktrace_on,
+                    disktrace_on, backend,
                 )
         absorbed = set()
         for name in EXPERIMENTS:

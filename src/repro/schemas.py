@@ -59,6 +59,14 @@ BENCH = "repro.bench/v1"
 #: ``repro-ffs chaos`` crash-grid report.
 CHAOS = "repro.chaos/v1"
 
+# --- flash storage substrate ---------------------------------------------
+
+#: SSD geometry/FTL parameter record (``SSDGeometry.to_dict``).
+SSD_CONFIG = "repro.ssd.config/v1"
+#: SSD per-run stats record (``SSDStats.to_document``): flash ops,
+#: GC accounting, mapping-cache traffic, write amplification.
+SSD_STATS = "repro.ssd.stats/v1"
+
 # --- the analyzer's own formats ------------------------------------------
 
 #: ``repro-ffs lint --json`` findings report.
@@ -84,6 +92,8 @@ REGISTRY: Dict[str, str] = {
     "CACHE": CACHE,
     "BENCH": BENCH,
     "CHAOS": CHAOS,
+    "SSD_CONFIG": SSD_CONFIG,
+    "SSD_STATS": SSD_STATS,
     "LINT_REPORT": LINT_REPORT,
     "LINT_BASELINE": LINT_BASELINE,
     "LINT_GRAPH": LINT_GRAPH,
